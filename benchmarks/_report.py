@@ -1,0 +1,20 @@
+"""Tiny reporting helper: print paper-style tables and archive them."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a table (visible via -s and in captured bench output) and save
+    it under benchmarks/results/<slug>.txt for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")[:60]
+    text = "\n".join([f"== {title} ==", *lines, ""])
+    # stderr survives pytest capture in most configurations.
+    print(text, file=sys.stderr)
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as f:
+        f.write(text)

@@ -1,0 +1,67 @@
+"""Ablation: foveated level budgets — the speed/quality knob behind H/M/L.
+
+Sweeps the per-level point fractions from conservative to aggressive and
+reports FPS vs per-level HVSQ: the mechanism by which the paper's variants
+trade peripheral quality for frame rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.foveation import (
+    FRTrainConfig,
+    build_foveated_model,
+    measure_level_hvsq,
+    render_foveated,
+)
+from repro.harness import EVAL_REGION_LAYOUT
+from repro.perf import DEFAULT_GPU, workload_from_fr
+
+from _report import report
+
+TRACE = "room"
+BUDGETS = {
+    "conservative": (1.0, 0.7, 0.5, 0.35),
+    "paper-like": (1.0, 0.45, 0.22, 0.10),
+    "aggressive": (1.0, 0.3, 0.12, 0.05),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep(env):
+    setup = env.setup(TRACE)
+    l1 = env.study_l1(TRACE)
+    rows = []
+    for name, fractions in BUDGETS.items():
+        fm = build_foveated_model(
+            l1, setup.train_cameras, setup.train_targets, EVAL_REGION_LAYOUT,
+            FRTrainConfig(level_fractions=fractions, finetune_iterations=6),
+        ).model
+        result = render_foveated(fm, setup.eval_cameras[0])
+        fps = DEFAULT_GPU.fps(workload_from_fr(result.stats))
+        l4 = measure_level_hvsq(fm, 4, setup.eval_cameras, setup.eval_targets)
+        rows.append(dict(name=name, fractions=fractions, fps=fps, l4_hvsq=l4))
+    return rows
+
+
+def test_level_budget_sweep(sweep, benchmark, env):
+    setup = env.setup(TRACE)
+    fm = env.study_model(TRACE).model
+    benchmark(lambda: render_foveated(fm, setup.eval_cameras[0]))
+
+    lines = [f"{'budget':<14} {'fractions':<24} {'FPS':>7} {'L4 HVSQ':>10}"]
+    for row in sweep:
+        frac = "/".join(f"{f:g}" for f in row["fractions"])
+        lines.append(f"{row['name']:<14} {frac:<24} {row['fps']:7.1f} {row['l4_hvsq']:10.2e}")
+    report("Ablation foveated level budgets", lines)
+
+    by_name = {row["name"]: row for row in sweep}
+    # Aggressive budgets are faster; conservative budgets hold quality.
+    assert by_name["aggressive"]["fps"] > by_name["conservative"]["fps"]
+    assert by_name["conservative"]["l4_hvsq"] <= by_name["aggressive"]["l4_hvsq"]
+    # The paper-like point sits between the extremes on speed.
+    assert (
+        by_name["conservative"]["fps"]
+        < by_name["paper-like"]["fps"]
+        <= by_name["aggressive"]["fps"] * 1.01
+    )

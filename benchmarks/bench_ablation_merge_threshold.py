@@ -1,0 +1,67 @@
+"""Ablation: Tile Merge Unit threshold β sweep.
+
+Sec 5.2: β controls how aggressively small tiles merge.  Too small → no
+merging (baseline stalls remain); too large → giant merged tiles re-create
+the imbalance at coarser granularity.  The sweep exposes the sweet spot
+around ~2× the mean per-tile work (our auto threshold).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import METASAPIENS_TM, auto_threshold, merge_tiles, simulate_pipeline
+from repro.foveation import render_foveated
+
+from _report import report
+
+TRACE = "bicycle"
+BETA_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def workload(env):
+    setup = env.setup(TRACE)
+    fr = env.fr_model(TRACE).model
+    result = render_foveated(fr, setup.eval_cameras[0])
+    ints = result.stats.raster_intersections_per_tile
+    return ints[ints > 0].astype(float)
+
+
+@pytest.fixture(scope="module")
+def sweep(workload):
+    mean = workload.mean()
+    rows = []
+    for factor in BETA_FACTORS:
+        beta = factor * mean
+        merged = merge_tiles(workload, beta)
+        sim = simulate_pipeline(workload, METASAPIENS_TM, merge_threshold=beta)
+        rows.append(
+            dict(
+                factor=factor,
+                beta=beta,
+                groups=merged.num_groups,
+                imbalance=merged.imbalance(),
+                cycles=sim.total_cycles,
+                util=sim.raster_utilization,
+            )
+        )
+    return rows
+
+
+def test_merge_threshold_ablation(sweep, workload, benchmark):
+    benchmark(lambda: merge_tiles(workload, auto_threshold(workload)))
+
+    lines = [f"{'beta/mean':>9} {'groups':>7} {'imbalance':>10} {'cycles':>9} {'util':>6}"]
+    for row in sweep:
+        lines.append(
+            f"{row['factor']:9.1f} {row['groups']:7d} {row['imbalance']:10.2f} "
+            f"{row['cycles']:9.0f} {row['util']:6.2f}"
+        )
+    report("Ablation tile-merge threshold (beta sweep)", lines)
+
+    # Larger beta → fewer scheduled groups (monotone).
+    groups = [row["groups"] for row in sweep]
+    assert all(np.diff(groups) <= 0)
+    # The default (2x mean) must be within 10% of the best cycle count found.
+    cycles = {row["factor"]: row["cycles"] for row in sweep}
+    assert cycles[2.0] <= 1.1 * min(cycles.values())

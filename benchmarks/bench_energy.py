@@ -1,0 +1,72 @@
+"""Sec 7.3: energy — base accelerator vs TM+IP vs the mobile GPU.
+
+Paper: 54.4x energy reduction for the base accelerator, improved to 56.8x by
+TM+IP (smaller line-buffer SRAMs).  Our constants land in that band; the
+TM+IP > base ordering must hold on every trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    METASAPIENS_BASE,
+    METASAPIENS_TM_IP,
+    accelerator_energy,
+    energy_reduction,
+    gpu_energy_mj,
+)
+from repro.foveation import render_foveated
+from repro.perf import workload_from_fr
+from repro.scenes import ALL_TRACES
+
+from _report import report
+
+TRACES = ALL_TRACES[:6]
+
+
+@pytest.fixture(scope="module")
+def workloads(env):
+    result = []
+    for trace in TRACES:
+        setup = env.setup(trace)
+        fr = env.fr_model(trace).model
+        stats = render_foveated(fr, setup.eval_cameras[0]).stats
+        result.append((trace, workload_from_fr(stats)))
+    return result
+
+
+def test_energy_reduction(workloads, benchmark):
+    _, first = workloads[0]
+    benchmark(lambda: accelerator_energy(first, METASAPIENS_TM_IP))
+
+    lines = [f"{'trace':<10} {'GPU mJ':>8} {'base mJ':>8} {'tm-ip mJ':>9} "
+             f"{'base x':>7} {'tm-ip x':>8}"]
+    base_ratios, ip_ratios = [], []
+    for trace, workload in workloads:
+        gpu = gpu_energy_mj(workload)
+        e_base = accelerator_energy(workload, METASAPIENS_BASE).total_mj
+        e_ip = accelerator_energy(workload, METASAPIENS_TM_IP).total_mj
+        base_ratios.append(gpu / e_base)
+        ip_ratios.append(gpu / e_ip)
+        lines.append(
+            f"{trace:<10} {gpu:8.1f} {e_base:8.2f} {e_ip:9.2f} "
+            f"{gpu / e_base:6.1f}x {gpu / e_ip:7.1f}x"
+        )
+    lines.append(
+        f"{'mean':<10} {'':>8} {'':>8} {'':>9} "
+        f"{np.mean(base_ratios):6.1f}x {np.mean(ip_ratios):7.1f}x"
+    )
+    report("Energy reduction vs mobile GPU (Sec 7.3)", lines)
+
+    # Paper band: tens of x; TM+IP strictly better on every trace.
+    assert 25.0 < np.mean(base_ratios) < 120.0
+    for base, ip in zip(base_ratios, ip_ratios):
+        assert ip > base
+
+
+def test_energy_breakdown_components(workloads, benchmark):
+    _, workload = workloads[0]
+    energy = benchmark(lambda: accelerator_energy(workload, METASAPIENS_BASE))
+    # Compute + DRAM dominate; SRAM is the small term TM+IP shrinks.
+    assert energy.compute_mj > energy.sram_mj
+    assert energy.dram_mj > energy.sram_mj

@@ -1,0 +1,60 @@
+"""Fig 3: FPS distribution of five PBNR models across the 13 traces.
+
+Paper shape: 3DGS and Mini-Splatting-D (dense) are slowest; CompactGS,
+LightGS and Mini-Splatting (pruned) are faster but still far from the
+75-90 FPS real-time bar on the mobile GPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FIG3_BASELINES
+from repro.perf import DEFAULT_GPU, mean_workload, workload_from_render
+from repro.scenes import ALL_TRACES
+from repro.splat import render
+
+from _report import report
+
+TRACES = ALL_TRACES  # all 13
+
+
+def model_fps(env, trace: str, name: str) -> float:
+    setup = env.setup(trace)
+    baseline = env.baselines(trace, FIG3_BASELINES)[name]
+    workloads = [
+        workload_from_render(render(baseline.model, cam, baseline.render_config),
+                             baseline.render_config)
+        for cam in setup.eval_cameras
+    ]
+    return DEFAULT_GPU.fps(mean_workload(workloads))
+
+
+@pytest.fixture(scope="module")
+def fps_table(env):
+    return {
+        name: np.asarray([model_fps(env, trace, name) for trace in TRACES])
+        for name in FIG3_BASELINES
+    }
+
+
+def test_fig3_fps_distribution(fps_table, benchmark, env):
+    # Benchmark the dense render that dominates Fig 3's runtime story.
+    setup = env.setup("bicycle")
+    dense = env.baselines("bicycle", FIG3_BASELINES)["3DGS"]
+    benchmark(lambda: render(dense.model, setup.eval_cameras[0], dense.render_config))
+
+    lines = [f"{'model':<18} {'min':>6} {'q1':>6} {'med':>6} {'q3':>6} {'max':>6}"]
+    for name, fps in fps_table.items():
+        q = np.percentile(fps, [0, 25, 50, 75, 100])
+        lines.append(
+            f"{name:<18} " + " ".join(f"{v:6.1f}" for v in q)
+        )
+    report("Fig 3 FPS distribution (mobile GPU model)", lines)
+
+    # Shape assertions from the paper.
+    med = {name: np.median(fps) for name, fps in fps_table.items()}
+    assert med["3DGS"] < 15.0  # dense models far from real-time
+    assert med["Mini-Splatting-D"] < 15.0
+    for pruned in ("CompactGS", "LightGS", "Mini-Splatting"):
+        assert med[pruned] > med["3DGS"]  # pruning helps...
+        assert med[pruned] < 75.0  # ...but stays below the VR bar

@@ -1,0 +1,67 @@
+"""Fig 4: latency tracks tile–ellipse intersections, not point count.
+
+LightGS pruned to several levels on bicycle: the point-count curve drops
+much faster than latency, while the intersection curve moves in lockstep
+with latency (correlation ≈ 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_3dgs, make_lightgs
+from repro.perf import DEFAULT_GPU, workload_from_render
+from repro.splat import render
+
+from _report import report
+
+PRUNE_LEVELS = (0.0, 0.75, 0.85, 0.90, 0.95, 0.97)
+
+
+@pytest.fixture(scope="module")
+def sweep(env):
+    setup = env.setup("bicycle")
+    dense = make_3dgs(setup.scene, seed=0)
+    rows = []
+    for fraction in PRUNE_LEVELS:
+        if fraction == 0.0:
+            model = dense.model
+        else:
+            model = make_lightgs(dense, setup.train_cameras, prune_fraction=fraction).model
+        result = render(model, setup.eval_cameras[0])
+        workload = workload_from_render(result)
+        rows.append(
+            dict(
+                prune=fraction,
+                points=model.num_points,
+                intersections=result.stats.total_intersections,
+                latency_ms=DEFAULT_GPU.latency_ms(workload),
+            )
+        )
+    return rows
+
+
+def test_fig4_latency_tracks_intersections(sweep, benchmark, env):
+    setup = env.setup("bicycle")
+    dense = make_3dgs(setup.scene, seed=0)
+    benchmark(lambda: make_lightgs(dense, setup.train_cameras, prune_fraction=0.9))
+
+    lines = [f"{'prune%':>7} {'points':>8} {'intersect':>10} {'latency ms':>11}"]
+    for row in sweep:
+        lines.append(
+            f"{row['prune']*100:7.0f} {row['points']:8d} "
+            f"{row['intersections']:10d} {row['latency_ms']:11.1f}"
+        )
+    report("Fig 4 latency vs points vs intersections (LightGS on bicycle)", lines)
+
+    points = np.asarray([r["points"] for r in sweep], dtype=float)
+    ints = np.asarray([r["intersections"] for r in sweep], dtype=float)
+    latency = np.asarray([r["latency_ms"] for r in sweep], dtype=float)
+
+    # Latency is near-perfectly correlated with intersections...
+    corr_ints = np.corrcoef(ints, latency)[0, 1]
+    assert corr_ints > 0.99
+    # ...and the point-reduction rate outpaces the latency-reduction rate
+    # (the paper's argument for why point-count pruning under-delivers).
+    point_drop = 1.0 - points[-1] / points[0]
+    latency_drop = 1.0 - latency[-1] / latency[0]
+    assert point_drop > latency_drop

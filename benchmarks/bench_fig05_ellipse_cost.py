@@ -1,0 +1,62 @@
+"""Fig 5: unequal compute cost of differently-sized ellipses.
+
+Two Gaussians at the same depth, one small and one large: the large one
+intersects several times more tiles, so it is responsible for proportionally
+more rasterization work — the intuition behind the CE metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.splat import Camera, GaussianModel, prepare_view
+
+from _report import report
+
+
+def two_ellipse_model(small_scale: float, large_scale: float) -> GaussianModel:
+    return GaussianModel(
+        positions=np.array([[-1.2, 0.0, 0.0], [1.2, 0.0, 0.0]]),
+        log_scales=np.log(
+            np.array([[small_scale] * 3, [large_scale] * 3])
+        ),
+        rotations=np.tile([1.0, 0, 0, 0], (2, 1)),
+        opacity_logits=np.array([2.0, 2.0]),
+        sh=np.zeros((2, 1, 3)),
+    )
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return Camera.from_fov(
+        width=128, height=96, fov_x_deg=60.0,
+        position=np.array([0.0, 0.0, -6.0]), look_at=np.zeros(3),
+    )
+
+
+def test_fig5_tile_cost_scales_with_ellipse_size(camera, benchmark):
+    model = two_ellipse_model(small_scale=0.08, large_scale=0.6)
+    projected, assignment = benchmark(lambda: prepare_view(model, camera))
+
+    tiles_per_splat = assignment.tiles_per_splat(projected.num_visible)
+    small_tiles, large_tiles = int(tiles_per_splat[0]), int(tiles_per_splat[1])
+
+    report(
+        "Fig 5 ellipse size vs tile intersections",
+        [
+            f"small ellipse (s=0.08): {small_tiles} tiles",
+            f"large ellipse (s=0.60): {large_tiles} tiles",
+            f"cost ratio: {large_tiles / max(small_tiles, 1):.1f}x",
+        ],
+    )
+    assert large_tiles >= 4 * small_tiles
+
+
+def test_fig5_cost_monotone_in_scale(camera, benchmark):
+    benchmark(lambda: prepare_view(two_ellipse_model(0.01, 0.4), camera))
+    previous = 0
+    for scale in (0.05, 0.15, 0.4, 0.8):
+        model = two_ellipse_model(small_scale=0.01, large_scale=scale)
+        projected, assignment = prepare_view(model, camera)
+        tiles = int(assignment.tiles_per_splat(projected.num_visible)[1])
+        assert tiles >= previous
+        previous = tiles

@@ -1,0 +1,70 @@
+"""Fig 10: pipeline stalls under imbalance — Baseline vs TM vs TM+IP.
+
+Reproduces both the didactic 4-tile example of the figure and the same
+comparison on a real foveated frame: tile merging removes most stalls,
+incremental pipelining removes the intra-tile serialization on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    METASAPIENS_BASE,
+    METASAPIENS_TM,
+    METASAPIENS_TM_IP,
+    simulate_pipeline,
+)
+from repro.foveation import render_foveated
+
+from _report import report
+
+# The figure's four imbalanced tiles (S1 big, S2/S3 small, S4 medium).
+FIGURE_TILES = np.array([300.0, 40.0, 40.0, 150.0])
+
+
+def schedule_row(name, result):
+    return (
+        f"{name:<18} cycles {result.total_cycles:9.0f}  "
+        f"raster-util {result.raster_utilization:5.2f}  "
+        f"tiles {result.num_scheduled_tiles:4d}"
+    )
+
+
+def test_fig10_four_tile_example(benchmark):
+    base = simulate_pipeline(FIGURE_TILES, METASAPIENS_BASE)
+    tm = simulate_pipeline(FIGURE_TILES, METASAPIENS_TM, merge_threshold=200.0)
+    tm_ip = benchmark(
+        lambda: simulate_pipeline(FIGURE_TILES, METASAPIENS_TM_IP, merge_threshold=200.0)
+    )
+
+    report(
+        "Fig 10 pipeline schedule (4-tile example)",
+        [
+            schedule_row("Baseline", base),
+            schedule_row("TM", tm),
+            schedule_row("TM+IP", tm_ip),
+        ],
+    )
+    assert tm.total_cycles <= base.total_cycles
+    assert tm_ip.total_cycles < tm.total_cycles
+    # The paper's point: S2+S3 are merged into one scheduled unit.
+    assert tm.num_scheduled_tiles < base.num_scheduled_tiles
+
+
+def test_fig10_real_frame(env, benchmark):
+    setup = env.setup("bicycle")
+    fr = env.fr_model("bicycle").model
+    result = render_foveated(fr, setup.eval_cameras[0])
+    ints = result.stats.raster_intersections_per_tile
+
+    base = simulate_pipeline(ints, METASAPIENS_BASE)
+    tm = simulate_pipeline(ints, METASAPIENS_TM)
+    tm_ip = benchmark(lambda: simulate_pipeline(ints, METASAPIENS_TM_IP))
+
+    report(
+        "Fig 10 pipeline schedule (real foveated frame, bicycle)",
+        [schedule_row("Baseline", base), schedule_row("TM", tm), schedule_row("TM+IP", tm_ip)],
+    )
+    assert tm.total_cycles <= base.total_cycles
+    assert tm_ip.total_cycles <= tm.total_cycles
+    assert tm_ip.raster_utilization > base.raster_utilization

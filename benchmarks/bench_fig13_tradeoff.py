@@ -1,0 +1,75 @@
+"""Fig 13: speed/quality trade-off — 7 baselines vs 3 MetaSapiens variants.
+
+Paper shape: the three MetaSapiens variants sit on the Pareto front of all
+three quality metrics vs FPS; MetaSapiens-H is ≈1.9x faster than the fastest
+baseline at similar quality, and MetaSapiens-L reaches several times the
+FPS of 3DGS.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import ALL_BASELINES
+from repro.foveation import FRTrainConfig, build_foveated_model
+from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
+
+from _report import report
+
+TRACES = ("room", "truck", "drjohnson")
+VARIANT_KEEP = {"MetaSapiens-H": 0.30, "MetaSapiens-M": 0.22, "MetaSapiens-L": 0.13}
+
+
+@pytest.fixture(scope="module")
+def measurements(env):
+    rows: dict[str, list] = {name: [] for name in ALL_BASELINES}
+    rows.update({name: [] for name in VARIANT_KEEP})
+
+    for trace in TRACES:
+        setup = env.setup(trace)
+        baselines = env.baselines(trace, tuple(ALL_BASELINES))
+        for name, baseline in baselines.items():
+            rows[name].append(repro.measure_baseline(baseline, setup))
+
+        dense = baselines["Mini-Splatting-D"]
+        for name, keep in VARIANT_KEEP.items():
+            l1 = quick_l1_model(setup, dense, keep_fraction=keep)
+            fr = build_foveated_model(
+                l1, setup.train_cameras, setup.train_targets, EVAL_REGION_LAYOUT,
+                FRTrainConfig(level_fractions=EVAL_LEVEL_FRACTIONS, finetune_iterations=2),
+            ).model
+            rows[name].append(repro.measure_foveated(name, fr, setup))
+    return rows
+
+
+def test_fig13_tradeoff(measurements, benchmark, env):
+    setup = env.setup("room")
+    dense = env.baselines("room", tuple(ALL_BASELINES))["3DGS"]
+    benchmark(lambda: repro.measure_baseline(dense, setup))
+
+    summary = {}
+    for name, ms in measurements.items():
+        summary[name] = dict(
+            fps=np.mean([m.fps for m in ms]),
+            psnr=np.mean([m.psnr for m in ms]),
+            ssim=np.mean([m.ssim for m in ms]),
+            lpips=np.mean([m.lpips for m in ms]),
+        )
+
+    lines = [f"{'method':<18} {'FPS':>7} {'PSNR':>7} {'SSIM':>6} {'LPIPS':>6}"]
+    for name, s in summary.items():
+        lines.append(
+            f"{name:<18} {s['fps']:7.1f} {s['psnr']:7.1f} {s['ssim']:6.3f} {s['lpips']:6.3f}"
+        )
+    report("Fig 13 speed vs quality (7 baselines + 3 variants)", lines)
+
+    fastest_baseline = max(summary[n]["fps"] for n in ALL_BASELINES)
+    # Shape assertions.
+    assert summary["MetaSapiens-H"]["fps"] > 1.5 * fastest_baseline
+    assert summary["MetaSapiens-L"]["fps"] > summary["MetaSapiens-M"]["fps"]
+    assert summary["MetaSapiens-M"]["fps"] > summary["MetaSapiens-H"]["fps"]
+    assert summary["MetaSapiens-L"]["fps"] > 4.0 * summary["3DGS"]["fps"]
+    # Note: foveated quality is measured on the foveal region (masked
+    # comparison), so PSNR values are not directly comparable in absolute
+    # terms; SSIM/LPIPS of -H must stay competitive with pruned baselines.
+    assert summary["MetaSapiens-H"]["ssim"] > 0.8 * summary["LightGS"]["ssim"]

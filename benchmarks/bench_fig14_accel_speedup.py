@@ -1,0 +1,69 @@
+"""Fig 14: accelerator speedup over the mobile GPU, per trace.
+
+Base accelerator / +TM / +TM+IP, each marker a trace running MetaSapiens-H.
+Paper shape: base ≈18.5x geomean (up to ~24.8x); TM helps consistently;
+TM+IP ≈20.9x geomean (up to ~27.7x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    METASAPIENS_BASE,
+    METASAPIENS_TM,
+    METASAPIENS_TM_IP,
+    geomean_speedup,
+    run_accelerator,
+)
+from repro.foveation import render_foveated
+from repro.perf import workload_from_fr
+from repro.scenes import ALL_TRACES
+
+from _report import report
+
+CONFIGS = (METASAPIENS_BASE, METASAPIENS_TM, METASAPIENS_TM_IP)
+
+
+@pytest.fixture(scope="module")
+def runs(env):
+    per_config = {cfg.name: [] for cfg in CONFIGS}
+    for trace in ALL_TRACES:
+        setup = env.setup(trace)
+        fr = env.fr_model(trace).model
+        result = render_foveated(fr, setup.eval_cameras[0])
+        workload = workload_from_fr(result.stats)
+        ints = result.stats.raster_intersections_per_tile
+        for cfg in CONFIGS:
+            per_config[cfg.name].append(run_accelerator(ints, workload, cfg))
+    return per_config
+
+
+def test_fig14_accel_speedups(runs, benchmark, env):
+    setup = env.setup("bicycle")
+    fr = env.fr_model("bicycle").model
+    result = render_foveated(fr, setup.eval_cameras[0])
+    workload = workload_from_fr(result.stats)
+    ints = result.stats.raster_intersections_per_tile
+    benchmark(lambda: run_accelerator(ints, workload, METASAPIENS_TM_IP))
+
+    lines = [f"{'config':<18} {'geomean':>8} {'min':>7} {'max':>7} {'util':>6}"]
+    geo = {}
+    for name, config_runs in runs.items():
+        speedups = np.asarray([r.speedup for r in config_runs])
+        utils = np.asarray([r.utilization for r in config_runs])
+        geo[name] = geomean_speedup(config_runs)
+        lines.append(
+            f"{name:<18} {geo[name]:7.1f}x {speedups.min():6.1f}x "
+            f"{speedups.max():6.1f}x {utils.mean():6.2f}"
+        )
+    report("Fig 14 accelerator speedup over mobile GPU (13 traces)", lines)
+
+    # Shape: every design point is an order of magnitude over the GPU;
+    # TM never hurts; TM+IP is the best.
+    assert geo["MetaSapiens-Base"] > 10.0
+    assert geo["MetaSapiens-TM"] >= geo["MetaSapiens-Base"] * 0.99
+    assert geo["MetaSapiens-TM-IP"] > geo["MetaSapiens-TM"]
+    assert geo["MetaSapiens-TM-IP"] > 15.0
+    # Per-trace: TM+IP wins on every trace (the paper's "consistently").
+    for base_run, ip_run in zip(runs["MetaSapiens-Base"], runs["MetaSapiens-TM-IP"]):
+        assert ip_run.speedup >= base_run.speedup * 0.99

@@ -1,0 +1,71 @@
+"""Fig 15: speedup vs area — MetaSapiens vs GSCore, proportionally scaled.
+
+Both designs run MetaSapiens-H on the flowers trace; resources are scaled by
+each design's own ratio.  Paper shape: ours achieves higher speedup at a
+slightly smaller area, and the gap widens as area grows (more idle resources
+for the imbalance to waste).
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import GSCORE, METASAPIENS_TM_IP, area_mm2, run_accelerator
+from repro.foveation import render_foveated
+from repro.perf import workload_from_fr
+
+from _report import report
+
+SCALES = (0.5, 1.0, 2.0, 3.0)
+
+
+@pytest.fixture(scope="module")
+def frame(env):
+    setup = env.setup("flowers")
+    fr = env.fr_model("flowers").model
+    result = render_foveated(fr, setup.eval_cameras[0])
+    return result.stats.raster_intersections_per_tile, workload_from_fr(result.stats)
+
+
+@pytest.fixture(scope="module")
+def sweep(frame):
+    ints, workload = frame
+    rows = []
+    for scale in SCALES:
+        for base in (METASAPIENS_TM_IP, GSCORE):
+            config = base.scaled(scale)
+            run = run_accelerator(ints, workload, config)
+            rows.append(
+                dict(
+                    design=base.name,
+                    scale=scale,
+                    area=area_mm2(config),
+                    speedup=run.speedup,
+                )
+            )
+    return rows
+
+
+def test_fig15_speedup_vs_area(sweep, frame, benchmark):
+    ints, workload = frame
+    benchmark(lambda: run_accelerator(ints, workload, METASAPIENS_TM_IP.scaled(2.0)))
+
+    lines = [f"{'design':<20} {'scale':>6} {'area mm2':>9} {'speedup':>8}"]
+    for row in sweep:
+        lines.append(
+            f"{row['design']:<20} {row['scale']:6.1f} {row['area']:9.2f} "
+            f"{row['speedup']:7.1f}x"
+        )
+    report("Fig 15 speedup vs area (ours vs GSCore)", lines)
+
+    ours = {r["scale"]: r for r in sweep if r["design"] == "MetaSapiens-TM-IP"}
+    gscore = {r["scale"]: r for r in sweep if r["design"] == "GSCore"}
+
+    # At every scale ours is faster at a comparable or smaller area ratio.
+    for scale in SCALES:
+        assert ours[scale]["speedup"] > gscore[scale]["speedup"]
+    # The advantage grows with area (paper: more pronounced imbalance).
+    gap_small = ours[SCALES[0]]["speedup"] / gscore[SCALES[0]]["speedup"]
+    gap_large = ours[SCALES[-1]]["speedup"] / gscore[SCALES[-1]]["speedup"]
+    assert gap_large >= gap_small * 0.9
+    # Speedup grows with area for our design (no early saturation).
+    assert ours[SCALES[-1]]["speedup"] > ours[SCALES[0]]["speedup"]

@@ -1,0 +1,128 @@
+"""Table 1: FR method comparison — SMFR vs MMFR vs MetaSapiens-H.
+
+Columns: FPS (GPU model), storage, HVSQ per quality level (L1..L4).
+Paper shape: SMFR fastest but its L4 HVSQ is ~10x worse; MMFR has the best
+peripheral HVSQ but ~0.42x the speed and ~1.9x the storage; ours is close to
+SMFR speed at ~1.06x storage with near-uniform HVSQ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.foveation import (
+    make_mmfr,
+    make_smfr,
+    measure_level_hvsq,
+    mmfr_storage_bytes,
+    render_foveated,
+    render_multi_model,
+    smfr_storage_bytes,
+)
+from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+from repro.hvs import hvsq
+from repro.foveation.regions import region_masks
+from repro.perf import DEFAULT_GPU, workload_from_fr
+from repro.splat import render
+
+from _report import report
+
+TRACES = ("room", "truck")
+LEVEL_FRACTIONS = (1.0, 0.6, 0.4, 0.25)  # match the study-grade build
+
+
+def level_hvsq_multi_model(models, layout, setup):
+    """Per-level HVSQ for MMFR: render each level model, evaluate its region."""
+    values = []
+    cam, target = setup.eval_cameras[0], setup.eval_targets[0]
+    masks = region_masks(cam, layout)
+    for level, model in enumerate(models, start=1):
+        image = render(model, cam).image
+        values.append(hvsq(target, image, cam, region_mask=masks[level - 1]).value)
+    return values
+
+
+@pytest.fixture(scope="module")
+def table(env):
+    rows = {"SMFR": [], "MMFR": [], "MetaSapiens-H": []}
+    for trace in TRACES:
+        setup = env.setup(trace)
+        l1 = env.study_l1(trace)
+        layout = EVAL_REGION_LAYOUT
+        cam = setup.eval_cameras[0]
+
+        # SMFR: random subsetting, no training.
+        smfr = make_smfr(l1, layout, level_fractions=LEVEL_FRACTIONS)
+        smfr_fps = DEFAULT_GPU.fps(workload_from_fr(render_foveated(smfr, cam).stats))
+        smfr_hvsq = [
+            measure_level_hvsq(smfr, lv, [cam], [setup.eval_targets[0]])
+            for lv in range(1, 5)
+        ]
+        rows["SMFR"].append((smfr_fps, smfr_storage_bytes(smfr), smfr_hvsq))
+
+        # MMFR: independent models, full fine-tuning.
+        mmfr = make_mmfr(
+            l1, setup.train_cameras, setup.train_targets, layout,
+            level_fractions=LEVEL_FRACTIONS, finetune_iterations=4,
+        )
+        mm_result = render_multi_model(mmfr, layout, cam)
+        mmfr_fps = DEFAULT_GPU.fps(workload_from_fr(mm_result.stats))
+        mmfr_hvsq = level_hvsq_multi_model(mmfr, layout, setup)
+        rows["MMFR"].append((mmfr_fps, mmfr_storage_bytes(mmfr), mmfr_hvsq))
+
+        # Ours: subsetting + selective multi-versioning, HVS-guided training.
+        ours = env.study_model(trace)
+        ours_fps = DEFAULT_GPU.fps(
+            workload_from_fr(render_foveated(ours.model, cam).stats)
+        )
+        ours_hvsq = [
+            measure_level_hvsq(ours.model, lv, [cam], [setup.eval_targets[0]])
+            for lv in range(1, 5)
+        ]
+        rows["MetaSapiens-H"].append((ours_fps, ours.model.storage_bytes(), ours_hvsq))
+    return rows
+
+
+def test_table1_fr_methods(table, benchmark, env):
+    setup = env.setup("room")
+    ours = env.study_model("room").model
+    benchmark(lambda: render_foveated(ours, setup.eval_cameras[0]))
+
+    summary = {}
+    for name, entries in table.items():
+        summary[name] = dict(
+            fps=np.mean([e[0] for e in entries]),
+            storage=np.mean([e[1] for e in entries]),
+            hvsq=np.mean([e[2] for e in entries], axis=0),
+        )
+
+    smfr_fps = summary["SMFR"]["fps"]
+    smfr_storage = summary["SMFR"]["storage"]
+    lines = [
+        f"{'method':<15} {'FPS':>7} {'rel':>6} {'storage':>9} {'rel':>6} "
+        f"{'L1':>9} {'L2':>9} {'L3':>9} {'L4':>9}"
+    ]
+    for name, s in summary.items():
+        hv = " ".join(f"{v:9.2e}" for v in s["hvsq"])
+        lines.append(
+            f"{name:<15} {s['fps']:7.1f} {s['fps'] / smfr_fps:5.2f}x "
+            f"{s['storage'] / 1024:8.0f}K {s['storage'] / smfr_storage:5.2f}x {hv}"
+        )
+    report("Table 1 FR methods (SMFR / MMFR / ours)", lines)
+
+    # Paper shape assertions.
+    assert summary["SMFR"]["fps"] >= summary["MetaSapiens-H"]["fps"] * 0.95
+    # Paper: 0.42x; at our evaluation scale projection is a smaller share
+    # of frame time, so MMFR's penalty is milder but must remain visible.
+    assert summary["MMFR"]["fps"] < 0.95 * summary["SMFR"]["fps"]
+    assert summary["MMFR"]["storage"] > 1.5 * smfr_storage
+    assert summary["MetaSapiens-H"]["storage"] < 1.25 * smfr_storage
+    # Peripheral quality: SMFR's L4 HVSQ is far worse than ours.
+    assert summary["SMFR"]["hvsq"][3] > 2.0 * summary["MetaSapiens-H"]["hvsq"][3]
+    # And SMFR degrades steeply from L1 to L4 (paper: >10x).
+    assert summary["SMFR"]["hvsq"][3] > 5.0 * max(summary["SMFR"]["hvsq"][0], 1e-12)
+    # Ours is much flatter across levels than SMFR (uniform perceived quality).
+    ours_range = summary["MetaSapiens-H"]["hvsq"][3] / max(
+        summary["MetaSapiens-H"]["hvsq"][0], 1e-12
+    )
+    smfr_range = summary["SMFR"]["hvsq"][3] / max(summary["SMFR"]["hvsq"][0], 1e-12)
+    assert ours_range < smfr_range

@@ -1,0 +1,74 @@
+"""Accelerator design-space walk: Base vs +TM vs +TM+IP vs GSCore.
+
+    python examples/accelerator_sim.py
+
+Renders a foveated frame, feeds its per-tile workload into the cycle-level
+pipeline simulator, and prints speedup / utilization / area / energy for
+each design point — the Sec 5/7.3/7.5 story end to end.
+"""
+
+from __future__ import annotations
+
+from repro.accel import (
+    GSCORE,
+    METASAPIENS_BASE,
+    METASAPIENS_TM,
+    METASAPIENS_TM_IP,
+    accelerator_energy,
+    area_mm2,
+    energy_reduction,
+    gpu_energy_mj,
+    run_accelerator,
+)
+from repro.core import compute_ce, prune_lowest_ce
+from repro.baselines import make_mini_splatting_d
+from repro.foveation import RegionLayout, render_foveated, uniform_foveated_model
+from repro.perf import workload_from_fr
+from repro.scenes import generate_scene, trace_cameras
+from repro.splat import render  # noqa: F401  (handy in interactive use)
+
+
+def main() -> None:
+    # A MetaSapiens-H-style foveated workload on the flowers trace.
+    scene = generate_scene("flowers", n_points=1200)
+    train_cams, eval_cams = trace_cameras("flowers", n_train=4, n_eval=1,
+                                          width=128, height=96)
+    dense = make_mini_splatting_d(scene)
+    ce = compute_ce(dense.model, train_cams)
+    l1 = prune_lowest_ce(dense.model, ce.ce, 0.6).model
+
+    layout = RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0))
+    import numpy as np
+
+    order = np.argsort(-ce.ce[prune_lowest_ce(dense.model, ce.ce, 0.6).kept_indices])
+    fmodel = uniform_foveated_model(l1, layout, (1.0, 0.45, 0.22, 0.1), order=order)
+
+    frame = render_foveated(fmodel, eval_cams[0])
+    workload = workload_from_fr(frame.stats)
+    ints = frame.stats.raster_intersections_per_tile
+    print(f"frame workload: {frame.stats.total_raster_intersections:.0f} "
+          f"tile intersections over {ints.size} tiles "
+          f"(max/mean = {ints.max() / max(ints.mean(), 1e-9):.1f} — the imbalance "
+          f"the hardware has to fight)")
+
+    print(f"\n{'design':<20} {'speedup':>8} {'util':>6} {'area mm2':>9} "
+          f"{'energy mJ':>10} {'energy vs GPU':>13}")
+    for config in (METASAPIENS_BASE, METASAPIENS_TM, METASAPIENS_TM_IP, GSCORE):
+        run = run_accelerator(ints, workload, config)
+        energy = accelerator_energy(workload, config)
+        print(f"{config.name:<20} {run.speedup:7.1f}x {run.utilization:6.2f} "
+              f"{area_mm2(config):9.2f} {energy.total_mj:10.2f} "
+              f"{energy_reduction(workload, config):12.1f}x")
+    print(f"\nmobile GPU reference energy: {gpu_energy_mj(workload):.1f} mJ/frame")
+
+    # Area scaling (Fig 15 in miniature).
+    print(f"\n{'scaled design':<26} {'area mm2':>9} {'speedup':>8}")
+    for scale in (1.0, 2.0, 4.0):
+        for base in (METASAPIENS_TM_IP, GSCORE):
+            config = base.scaled(scale)
+            run = run_accelerator(ints, workload, config)
+            print(f"{config.name:<26} {area_mm2(config):9.2f} {run.speedup:7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Dynamic foveation under a realistic scanpath + model compression.
+
+    python examples/gaze_dynamics.py
+
+Simulates fixation/saccade gaze over a short VR clip, renders each frame
+foveated at the current gaze, and reports how the workload (and therefore
+frame time) moves with the eye — then squeezes the model further with SH
+vector quantization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compress import compress_model
+from repro.core import compute_ce, prune_lowest_ce
+from repro.baselines import make_mini_splatting_d
+from repro.foveation import RegionLayout, render_foveated, uniform_foveated_model
+from repro.perf import DEFAULT_GPU, workload_from_fr
+from repro.scenes import gaze_trajectory, generate_scene, saccade_frames, trace_cameras
+from repro.splat import render
+
+
+def main() -> None:
+    scene = generate_scene("truck", n_points=1000, sh_degree=2)
+    train_cams, eval_cams = trace_cameras("truck", n_train=4, n_eval=1,
+                                          width=128, height=96)
+    cam = eval_cams[0]
+
+    dense = make_mini_splatting_d(scene)
+    ce = compute_ce(dense.model, train_cams)
+    keep = prune_lowest_ce(dense.model, ce.ce, 0.55)
+    l1 = keep.model
+    order = np.argsort(-ce.ce[keep.kept_indices])
+
+    layout = RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0))
+    fmodel = uniform_foveated_model(l1, layout, (1.0, 0.45, 0.22, 0.1), order=order)
+
+    # A 0.5-second scanpath at 90 FPS.
+    n_frames = 45
+    gaze = gaze_trajectory(cam.width, cam.height, n_frames, fps=90.0, seed=1)
+    saccades = saccade_frames(gaze)
+    print(f"scanpath: {n_frames} frames, {saccades.sum()} saccade frames")
+
+    fps_values = []
+    for f in range(0, n_frames, 5):
+        result = render_foveated(fmodel, cam, gaze=tuple(gaze[f]))
+        fps = DEFAULT_GPU.fps(workload_from_fr(result.stats))
+        fps_values.append(fps)
+        marker = "saccade" if saccades[f] else "fixation"
+        print(f"frame {f:3d} gaze ({gaze[f, 0]:5.1f},{gaze[f, 1]:5.1f}) "
+              f"[{marker:<8}] {fps:6.1f} FPS  "
+              f"ints {result.stats.total_raster_intersections:5.0f}")
+    print(f"FPS over the clip: min {min(fps_values):.1f} / "
+          f"mean {np.mean(fps_values):.1f} / max {max(fps_values):.1f}")
+
+    # Storage: pruning already shrank the model; VQ shrinks it further.
+    compressed = compress_model(l1, num_codes=128)
+    print(f"\nstorage: dense {dense.model.storage_bytes() / 1024:.0f} KB → "
+          f"pruned {l1.storage_bytes() / 1024:.0f} KB → "
+          f"pruned+VQ {compressed.storage_bytes() / 1024:.0f} KB "
+          f"({dense.model.storage_bytes() / compressed.storage_bytes():.1f}x total)")
+
+    # Verify the VQ model still renders faithfully.
+    from repro.hvs import psnr
+
+    target = render(l1, cam).image
+    vq_img = render(compressed.decompress(), cam).image
+    print(f"VQ reconstruction PSNR vs pruned model: {psnr(target, vq_img):.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of MetaSapiens (ASPLOS 2025).
+
+Real-time point-based neural rendering with efficiency-aware pruning,
+foveated rendering, and accelerator support.  Subpackages:
+
+- :mod:`repro.splat`      — Gaussian-splatting substrate (render pipeline)
+- :mod:`repro.scenes`     — procedural dataset stand-ins + trajectories
+- :mod:`repro.hvs`        — human-visual-system model and quality metrics
+- :mod:`repro.train`      — differentiable fine-tuning substrate
+- :mod:`repro.core`       — efficiency-aware pruning (contribution #1)
+- :mod:`repro.foveation`  — foveated PBNR (contribution #2)
+- :mod:`repro.baselines`  — the seven comparison PBNR models
+- :mod:`repro.perf`       — mobile-GPU performance model
+- :mod:`repro.accel`      — accelerator simulator (contribution #3)
+- :mod:`repro.study`      — simulated 2IFC user study
+- :mod:`repro.harness`    — end-to-end experiment helpers
+"""
+
+from . import accel, baselines, compress, core, foveation, harness, hvs, perf, scenes, splat, study, train
+from .harness import (
+    EVAL_LEVEL_FRACTIONS,
+    EVAL_REGION_LAYOUT,
+    MetaSapiensModels,
+    MethodMeasurement,
+    TraceSetup,
+    build_metasapiens,
+    measure_baseline,
+    measure_foveated,
+    setup_trace,
+)
+from .splat import Camera, GaussianModel, RenderConfig, render
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Camera",
+    "EVAL_LEVEL_FRACTIONS",
+    "EVAL_REGION_LAYOUT",
+    "GaussianModel",
+    "MetaSapiensModels",
+    "MethodMeasurement",
+    "RenderConfig",
+    "TraceSetup",
+    "accel",
+    "baselines",
+    "build_metasapiens",
+    "compress",
+    "core",
+    "foveation",
+    "harness",
+    "hvs",
+    "measure_baseline",
+    "measure_foveated",
+    "perf",
+    "render",
+    "scenes",
+    "setup_trace",
+    "splat",
+    "study",
+    "train",
+]

@@ -1,0 +1,66 @@
+"""MetaSapiens contribution #3: accelerator support (paper Sec 5)."""
+
+from .accelerator import AcceleratorRun, accel_latency_ms, geomean_speedup, run_accelerator
+from .area import area_mm2, reference_areas, sram_kb
+from .dram import (
+    DEFAULT_DRAM,
+    DRAMModel,
+    DRAMTraffic,
+    bound_latency_ms,
+    dram_time_ms,
+    frame_traffic,
+    is_memory_bound,
+)
+from .config import (
+    GSCORE,
+    METASAPIENS_BASE,
+    METASAPIENS_TM,
+    METASAPIENS_TM_IP,
+    AcceleratorConfig,
+)
+from .energy import (
+    EnergyBreakdown,
+    accelerator_energy,
+    energy_reduction,
+    gpu_energy_mj,
+    sram_pj_per_byte,
+)
+from .pipeline_sim import PipelineResult, simulate_pipeline, stage_cycles
+from .scale import GPU_EFFECTIVE_GOPS, WORKLOAD_SCALE
+from .tile_merge import MergedTiles, auto_threshold, identity_merge, merge_tiles
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorRun",
+    "DEFAULT_DRAM",
+    "DRAMModel",
+    "DRAMTraffic",
+    "bound_latency_ms",
+    "dram_time_ms",
+    "frame_traffic",
+    "is_memory_bound",
+    "EnergyBreakdown",
+    "GPU_EFFECTIVE_GOPS",
+    "GSCORE",
+    "METASAPIENS_BASE",
+    "METASAPIENS_TM",
+    "METASAPIENS_TM_IP",
+    "MergedTiles",
+    "PipelineResult",
+    "WORKLOAD_SCALE",
+    "accel_latency_ms",
+    "accelerator_energy",
+    "area_mm2",
+    "auto_threshold",
+    "energy_reduction",
+    "geomean_speedup",
+    "gpu_energy_mj",
+    "identity_merge",
+    "merge_tiles",
+    "reference_areas",
+    "run_accelerator",
+    "simulate_pipeline",
+    "sram_kb",
+    "sram_pj_per_byte",
+    "stage_cycles",
+]

@@ -1,0 +1,83 @@
+"""Accelerator configurations (Sec 5 / Sec 6).
+
+The MetaSapiens accelerator builds on GSCore's three-stage tile pipeline
+(Projection → Sorting → Rasterization) with re-balanced resources — 8
+Culling-and-Conversion Units, a single Hierarchical Sorting Unit, and a
+16×16 Volume Rendering Core array — plus the FR filter/blend units and the
+two load-balance mechanisms (Tile Merging, Incremental Pipelining).
+
+GSCore's published configuration has 4× fewer VRCs and 2× the sorting units
+(Sec 7.5), which we mirror here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """Resource + feature description of one accelerator design point."""
+
+    name: str
+    num_ccu: int = 8  # Culling & Conversion Units (projection)
+    num_sort_units: int = 1  # Hierarchical Sorting Units
+    sort_lanes: int = 8  # merge lanes per sorting unit (elems/cycle)
+    vrc_rows: int = 16  # Volume Rendering Core array
+    vrc_cols: int = 16
+    tile_pixels: int = 256  # 16×16 tiles
+    frequency_ghz: float = 1.0
+    # Load-balance features.
+    tile_merge: bool = False
+    merge_threshold: float = 64.0  # β: max cumulative intersections per merged tile
+    incremental_pipelining: bool = False
+    line_buffer_rows: int = 4  # sub-tile granularity under IP (pixel rows)
+    # Buffers (bytes) — drive SRAM area and energy.
+    double_buffer_bytes: int = 64 * 1024
+    line_buffer_bytes: int = 1024
+    # FR support units (filtering in projection, blending in raster).
+    fr_support: bool = True
+
+    @property
+    def num_vrc(self) -> int:
+        return self.vrc_rows * self.vrc_cols
+
+    @property
+    def raster_pixels_per_cycle(self) -> int:
+        return self.num_vrc
+
+    def scaled(self, factor: float, name: str | None = None) -> "AcceleratorConfig":
+        """Proportionally scale compute resources (Fig 15's area sweep).
+
+        The VRC array keeps its aspect ratio; discrete unit counts never drop
+        below one.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        side = max(1, int(round((self.num_vrc * factor) ** 0.5)))
+        return dataclasses.replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            num_ccu=max(1, int(round(self.num_ccu * factor))),
+            num_sort_units=max(1, int(round(self.num_sort_units * factor))),
+            vrc_rows=side,
+            vrc_cols=side,
+        )
+
+
+METASAPIENS_BASE = AcceleratorConfig(name="MetaSapiens-Base")
+METASAPIENS_TM = AcceleratorConfig(name="MetaSapiens-TM", tile_merge=True)
+METASAPIENS_TM_IP = AcceleratorConfig(
+    name="MetaSapiens-TM-IP", tile_merge=True, incremental_pipelining=True
+)
+
+GSCORE = AcceleratorConfig(
+    name="GSCore",
+    num_ccu=4,
+    num_sort_units=2,
+    vrc_rows=8,
+    vrc_cols=8,
+    tile_merge=False,
+    incremental_pipelining=False,
+    fr_support=False,
+)

@@ -1,0 +1,115 @@
+"""DRAM model: four channels of Micron 16 Gb LPDDR3-1600 (Sec 6).
+
+The accelerator streams Gaussian parameters from DRAM during Projection and
+writes the frame back after Rasterization.  This module answers the question
+the pipeline simulator needs: *is the frame compute-bound or memory-bound?*
+
+LPDDR3-1600 moves 1600 MT/s × 4 bytes per channel ≈ 6.4 GB/s; four channels
+give ≈ 25.6 GB/s peak, derated by a utilization factor for real access
+streams.  Traffic per frame:
+
+- read: one parameter record per point through Projection (shared across FR
+  levels thanks to subsetting — MMFR re-reads per level),
+- read/write: intersection records spilled between stages when they exceed
+  on-chip buffering (we charge only the spilled fraction),
+- write: the final framebuffer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..perf.workload import FrameWorkload
+from .config import AcceleratorConfig
+from .energy import BYTES_PER_INTERSECTION, BYTES_PER_POINT_DRAM
+from .scale import WORKLOAD_SCALE
+
+FRAMEBUFFER_BYTES_PER_PIXEL = 4  # RGBA8 output
+
+
+@dataclasses.dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth description of the memory system."""
+
+    channels: int = 4
+    transfer_rate_mt_s: float = 1600.0
+    bytes_per_transfer: int = 4
+    utilization: float = 0.7  # achievable fraction of peak for streams
+
+    @property
+    def peak_gb_s(self) -> float:
+        return self.channels * self.transfer_rate_mt_s * self.bytes_per_transfer / 1e3
+
+    @property
+    def effective_bytes_per_us(self) -> float:
+        return self.peak_gb_s * self.utilization * 1e3  # GB/s → B/µs
+
+
+DEFAULT_DRAM = DRAMModel()
+
+
+@dataclasses.dataclass
+class DRAMTraffic:
+    """Per-frame DRAM traffic in bytes (at deployment scale)."""
+
+    parameter_read: float
+    intersection_spill: float
+    framebuffer_write: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.parameter_read + self.intersection_spill + self.framebuffer_write
+
+
+def frame_traffic(
+    workload: FrameWorkload,
+    config: AcceleratorConfig,
+    image_pixels: int = 96 * 64,
+    spill_fraction: float = 0.1,
+) -> DRAMTraffic:
+    """Estimate one frame's DRAM traffic.
+
+    ``spill_fraction`` is the share of intersection records that overflow
+    on-chip buffers and round-trip through DRAM (small for tile-local
+    scheduling; larger buffers reduce it further).
+    """
+    scale = WORKLOAD_SCALE
+    points = workload.num_projected * workload.projection_runs * scale
+    intersections = workload.raster_splat_pixels / max(config.tile_pixels, 1) * scale
+    return DRAMTraffic(
+        parameter_read=points * BYTES_PER_POINT_DRAM,
+        intersection_spill=intersections * BYTES_PER_INTERSECTION * 2.0 * spill_fraction,
+        framebuffer_write=image_pixels * scale * FRAMEBUFFER_BYTES_PER_PIXEL,
+    )
+
+
+def dram_time_ms(
+    workload: FrameWorkload,
+    config: AcceleratorConfig,
+    dram: DRAMModel | None = None,
+    **traffic_kwargs,
+) -> float:
+    """Time to move one frame's DRAM traffic (lower bound, full overlap)."""
+    dram = dram or DEFAULT_DRAM
+    traffic = frame_traffic(workload, config, **traffic_kwargs)
+    return traffic.total_bytes / dram.effective_bytes_per_us / 1e3
+
+
+def is_memory_bound(
+    compute_ms: float,
+    workload: FrameWorkload,
+    config: AcceleratorConfig,
+    dram: DRAMModel | None = None,
+) -> bool:
+    """Whether the DRAM stream, fully overlapped, exceeds compute time."""
+    return dram_time_ms(workload, config, dram) > compute_ms
+
+
+def bound_latency_ms(
+    compute_ms: float,
+    workload: FrameWorkload,
+    config: AcceleratorConfig,
+    dram: DRAMModel | None = None,
+) -> float:
+    """Frame latency with DRAM overlap: max(compute, memory)."""
+    return max(compute_ms, dram_time_ms(workload, config, dram))

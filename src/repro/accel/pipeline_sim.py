@@ -1,0 +1,131 @@
+"""Cycle-level simulation of the tile pipeline (Fig 10).
+
+Three stages — Projection, Sorting, Rasterization — pipelined over (merged)
+tiles.  Two inter-stage handoff disciplines:
+
+- **Double buffering** (baseline): a stage may run at most one tile ahead of
+  its consumer; the consumer starts a tile only when the producer has
+  finished it entirely.  Imbalanced tiles stall the pipe (Fig 10 top).
+- **Incremental pipelining** (ours): line buffers let the consumer start on
+  the first sub-tile as soon as it is produced, and stages proceed
+  rate-matched; a tile's rasterization can no longer be delayed by the tail
+  of its own sorting (Fig 10 bottom).
+
+Per-tile stage cycles:
+
+- projection: ``n / num_ccu`` (points stream through the CCUs),
+- sorting:    ``n · ceil(log2 n) / (lanes · units)`` (hierarchical merge),
+- raster:     ``n · ceil(tile_pixels / num_vrc)`` per constituent tile
+  (the VRC array applies one splat to the whole sub-array per cycle).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .config import AcceleratorConfig
+from .tile_merge import MergedTiles, auto_threshold, identity_merge, merge_tiles
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Timing of one frame through the accelerator."""
+
+    total_cycles: float
+    sort_busy_cycles: float
+    raster_busy_cycles: float
+    num_scheduled_tiles: int
+    config: AcceleratorConfig
+
+    @property
+    def raster_utilization(self) -> float:
+        """Fraction of the makespan the VRC array is busy — the paper's
+        'low hardware utilization' problem is exactly this number."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.raster_busy_cycles / self.total_cycles
+
+    def latency_ms(self) -> float:
+        return self.total_cycles / (self.config.frequency_ghz * 1e6)
+
+
+def stage_cycles(
+    group_counts: np.ndarray,
+    group_sizes: np.ndarray,
+    config: AcceleratorConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(projection, sorting, rasterization) cycles per scheduled tile."""
+    n = np.asarray(group_counts, dtype=np.float64)
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+
+    proj = n / config.num_ccu
+    log_n = np.ceil(np.log2(np.maximum(n, 2.0)))
+    sort = n * log_n / (config.sort_lanes * config.num_sort_units)
+    # A VRC array smaller than a tile needs several passes per splat; an
+    # array larger than a tile rasterizes several splats in parallel
+    # (sub-array replication), hence the fractional pass count.
+    passes = config.tile_pixels / config.raster_pixels_per_cycle
+    raster = n * passes + sizes  # +1 cycle per constituent tile for writeback
+    return proj, sort, raster
+
+
+def simulate_pipeline(
+    intersections_per_tile: np.ndarray,
+    config: AcceleratorConfig,
+    merge_threshold: float | None = None,
+) -> PipelineResult:
+    """Simulate one frame; returns makespan and per-stage busy time."""
+    counts = np.asarray(intersections_per_tile, dtype=np.float64)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        return PipelineResult(0.0, 0.0, 0.0, 0, config)
+
+    if config.tile_merge:
+        beta = merge_threshold if merge_threshold is not None else auto_threshold(counts)
+        merged: MergedTiles = merge_tiles(counts, beta)
+    else:
+        merged = identity_merge(counts)
+
+    proj, sort, raster = stage_cycles(merged.group_counts, merged.group_sizes, config)
+    k = merged.num_groups
+
+    end_proj = np.zeros(k)
+    end_sort = np.zeros(k)
+    start_raster = np.zeros(k)
+    end_raster = np.zeros(k)
+
+    if config.incremental_pipelining:
+        # Sub-tile startup latency: the sorter must emit the first chunk
+        # before the VRCs can start (one line-buffer row's worth of work).
+        startup = np.minimum(
+            sort, config.line_buffer_rows * config.tile_pixels / config.raster_pixels_per_cycle
+        )
+        for i in range(k):
+            prev_end_proj = end_proj[i - 1] if i else 0.0
+            end_proj[i] = max(prev_end_proj, end_sort[i - 1] - sort[i] if i else 0.0) + proj[i]
+            start_sort = max(end_sort[i - 1] if i else 0.0, end_proj[i])
+            end_sort[i] = start_sort + sort[i]
+            # Raster streams behind sorting: may start once the first chunk
+            # lands, finishes no earlier than its own work or the sort tail.
+            start_raster[i] = max(end_raster[i - 1] if i else 0.0, start_sort + startup[i])
+            end_raster[i] = max(start_raster[i] + raster[i], end_sort[i])
+    else:
+        for i in range(k):
+            # Double-buffer constraint: producer may run one tile ahead.
+            proj_gate = end_sort[i - 2] if i >= 2 else 0.0
+            end_proj[i] = max(end_proj[i - 1] if i else 0.0, proj_gate) + proj[i]
+            sort_gate = end_raster[i - 2] if i >= 2 else 0.0
+            start_sort = max(end_sort[i - 1] if i else 0.0, end_proj[i], sort_gate)
+            end_sort[i] = start_sort + sort[i]
+            start_raster[i] = max(end_raster[i - 1] if i else 0.0, end_sort[i])
+            end_raster[i] = start_raster[i] + raster[i]
+
+    return PipelineResult(
+        total_cycles=float(end_raster[-1]),
+        sort_busy_cycles=float(sort.sum()),
+        raster_busy_cycles=float(raster.sum()),
+        num_scheduled_tiles=k,
+        config=config,
+    )

@@ -1,0 +1,26 @@
+"""Workload scale normalization between evaluation scale and deployment.
+
+Our offline evaluation runs scenes ~10³ smaller than the paper's (thousands
+of splats at ≈ 100×128 px instead of millions at headset resolution).  The
+GPU latency model absorbs that gap in its calibrated per-op coefficients; to
+keep the accelerator simulator *consistent* with it — so that "speedup over
+GPU" compares like with like — accelerator cycle counts are scaled by the
+same factor before being converted to time.
+
+``WORKLOAD_SCALE`` is the ratio between a deployment frame's rasterization
+work (≈ 1.3 G splat×pixel ops: millions of intersections × 256-pixel tiles)
+and our evaluation frames (≈ 1.2 M ops).  Equivalently: the GPU model's
+140 ns/op effective cost equals a realistic 0.125 ns/op mobile-GPU
+throughput times this scale.  The accelerator's raw advantage is then
+
+    peak ratio = (256 VRC ops/cycle @ 1 GHz) / (8 G GPU ops/s) = 32×
+
+and everything below that in Fig 14 is pipeline-stall loss measured by the
+simulator — the quantity TM and IP exist to recover.
+"""
+
+WORKLOAD_SCALE = 1100.0
+
+# Effective mobile-GPU rasterization throughput at deployment scale,
+# implied by the paper's measured FPS (used for documentation/validation).
+GPU_EFFECTIVE_GOPS = 8.0

@@ -1,0 +1,97 @@
+"""Tile Merge Unit (TMU) model — Sec 5.2.
+
+The TMU aggregates incoming tiles into *merged tiles* whose cumulative
+intersection count stays below a threshold β, evening out the work that
+flows down the pipeline.  Hardware-wise it is a two-stage counter/aggregator
+in front of the sorting unit; functionally, the pipeline then schedules
+merged tiles instead of native tiles.
+
+Merging never reorders tiles (the raster output must land in its native
+tile's framebuffer position — each constituent keeps its native tile id,
+augmented with the merged-tile id).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class MergedTiles:
+    """Result of tile merging: contiguous groups of native tiles."""
+
+    group_of_tile: np.ndarray  # (T,) merged-group index of each native tile
+    group_counts: np.ndarray  # (G,) total intersections per merged tile
+    group_sizes: np.ndarray  # (G,) native tiles per merged tile
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_counts.shape[0])
+
+    def imbalance(self) -> float:
+        """Coefficient of variation of per-group work (lower = better)."""
+        counts = self.group_counts.astype(np.float64)
+        if counts.size == 0 or counts.mean() == 0:
+            return 0.0
+        return float(counts.std() / counts.mean())
+
+
+def merge_tiles(intersections_per_tile: np.ndarray, threshold: float) -> MergedTiles:
+    """Greedy streaming merge: accumulate tiles until β would be exceeded.
+
+    A tile that alone exceeds β forms its own group (it cannot be split —
+    that is Incremental Pipelining's job).
+    """
+    counts = np.asarray(intersections_per_tile, dtype=np.float64)
+    if threshold <= 0:
+        raise ValueError("merge threshold must be positive")
+
+    group_of_tile = np.empty(counts.shape[0], dtype=np.int64)
+    group_counts: list[float] = []
+    group_sizes: list[int] = []
+
+    acc = 0.0
+    size = 0
+    group = 0
+    for i, c in enumerate(counts):
+        if size > 0 and acc + c > threshold:
+            group_counts.append(acc)
+            group_sizes.append(size)
+            group += 1
+            acc = 0.0
+            size = 0
+        group_of_tile[i] = group
+        acc += c
+        size += 1
+    if size > 0:
+        group_counts.append(acc)
+        group_sizes.append(size)
+
+    return MergedTiles(
+        group_of_tile=group_of_tile,
+        group_counts=np.asarray(group_counts),
+        group_sizes=np.asarray(group_sizes, dtype=np.int64),
+    )
+
+
+def identity_merge(intersections_per_tile: np.ndarray) -> MergedTiles:
+    """No merging: one group per native tile (baseline pipeline input)."""
+    counts = np.asarray(intersections_per_tile, dtype=np.float64)
+    t = counts.shape[0]
+    return MergedTiles(
+        group_of_tile=np.arange(t, dtype=np.int64),
+        group_counts=counts.copy(),
+        group_sizes=np.ones(t, dtype=np.int64),
+    )
+
+
+def auto_threshold(intersections_per_tile: np.ndarray, target_groups: int | None = None) -> float:
+    """Pick β: default to twice the mean per-tile work (empirically robust)."""
+    counts = np.asarray(intersections_per_tile, dtype=np.float64)
+    if counts.size == 0:
+        return 1.0
+    if target_groups:
+        return max(1.0, float(counts.sum() / target_groups))
+    return max(1.0, 2.0 * float(counts.mean()))

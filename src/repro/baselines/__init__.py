@@ -1,0 +1,36 @@
+"""The seven PBNR comparison baselines of the paper's evaluation."""
+
+from .dense import (
+    BaselineModel,
+    make_3dgs,
+    make_mini_splatting_d,
+    make_mip_splatting,
+    make_stopthepop,
+)
+from .pruned import lightgs_scores, make_compactgs, make_lightgs, make_mini_splatting
+from .registry import (
+    ALL_BASELINES,
+    DENSE_BASELINES,
+    FIG3_BASELINES,
+    PRUNED_BASELINES,
+    build_baseline,
+    build_baselines,
+)
+
+__all__ = [
+    "ALL_BASELINES",
+    "BaselineModel",
+    "DENSE_BASELINES",
+    "FIG3_BASELINES",
+    "PRUNED_BASELINES",
+    "build_baseline",
+    "build_baselines",
+    "lightgs_scores",
+    "make_3dgs",
+    "make_compactgs",
+    "make_lightgs",
+    "make_mini_splatting",
+    "make_mini_splatting_d",
+    "make_mip_splatting",
+    "make_stopthepop",
+]

@@ -1,0 +1,85 @@
+"""Registry assembling all seven comparison baselines for a trace."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..splat.camera import Camera
+from ..splat.gaussians import GaussianModel
+from .dense import (
+    BaselineModel,
+    make_3dgs,
+    make_mini_splatting_d,
+    make_mip_splatting,
+    make_stopthepop,
+)
+from .pruned import make_compactgs, make_lightgs, make_mini_splatting
+
+DENSE_BASELINES = ("3DGS", "Mini-Splatting-D", "Mip-Splatting", "StopThePop")
+PRUNED_BASELINES = ("LightGS", "CompactGS", "Mini-Splatting")
+ALL_BASELINES = DENSE_BASELINES + PRUNED_BASELINES
+
+# Fig 3 compares this subset (the five models the paper profiles on Xavier).
+FIG3_BASELINES = ("3DGS", "Mini-Splatting-D", "CompactGS", "LightGS", "Mini-Splatting")
+
+
+def build_baseline(
+    name: str,
+    scene: GaussianModel,
+    cameras: Sequence[Camera],
+    seed: int = 0,
+) -> BaselineModel:
+    """Build one baseline by name from the ground-truth scene.
+
+    Pruned baselines are derived from their parent dense model exactly as in
+    the paper: LightGS and CompactGS prune 3DGS; Mini-Splatting prunes
+    Mini-Splatting-D.
+    """
+    if name == "3DGS":
+        return make_3dgs(scene, seed=seed)
+    if name == "Mini-Splatting-D":
+        return make_mini_splatting_d(scene, seed=seed + 1)
+    if name == "Mip-Splatting":
+        return make_mip_splatting(scene, seed=seed + 2)
+    if name == "StopThePop":
+        return make_stopthepop(scene, seed=seed + 3)
+    if name == "LightGS":
+        return make_lightgs(make_3dgs(scene, seed=seed), cameras, seed=seed)
+    if name == "CompactGS":
+        return make_compactgs(make_3dgs(scene, seed=seed), cameras, seed=seed)
+    if name == "Mini-Splatting":
+        return make_mini_splatting(make_mini_splatting_d(scene, seed=seed + 1), cameras, seed=seed)
+    raise KeyError(f"unknown baseline {name!r}; valid: {ALL_BASELINES}")
+
+
+def build_baselines(
+    scene: GaussianModel,
+    cameras: Sequence[Camera],
+    names: Sequence[str] = ALL_BASELINES,
+    seed: int = 0,
+) -> dict[str, BaselineModel]:
+    """Build several baselines, sharing parent dense models where possible."""
+    results: dict[str, BaselineModel] = {}
+    parent_3dgs: BaselineModel | None = None
+    parent_msd: BaselineModel | None = None
+    for name in names:
+        if name in ("LightGS", "CompactGS"):
+            if parent_3dgs is None:
+                parent_3dgs = results.get("3DGS") or make_3dgs(scene, seed=seed)
+            if name == "LightGS":
+                results[name] = make_lightgs(parent_3dgs, cameras, seed=seed)
+            else:
+                results[name] = make_compactgs(parent_3dgs, cameras, seed=seed)
+        elif name == "Mini-Splatting":
+            if parent_msd is None:
+                parent_msd = results.get("Mini-Splatting-D") or make_mini_splatting_d(
+                    scene, seed=seed + 1
+                )
+            results[name] = make_mini_splatting(parent_msd, cameras, seed=seed)
+        else:
+            results[name] = build_baseline(name, scene, cameras, seed=seed)
+            if name == "3DGS":
+                parent_3dgs = results[name]
+            elif name == "Mini-Splatting-D":
+                parent_msd = results[name]
+    return results

@@ -1,0 +1,181 @@
+"""Command-line interface: quick experiments without writing code.
+
+    python -m repro.cli traces
+    python -m repro.cli render garden --points 1200
+    python -m repro.cli prune bicycle --fraction 0.6
+    python -m repro.cli foveate room
+    python -m repro.cli accel flowers
+
+Each subcommand builds the relevant models at a small evaluation scale and
+prints a compact report; flags control scene size and resolution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", help="trace name (see `traces`)")
+    parser.add_argument("--points", type=int, default=1000, help="scene point budget")
+    parser.add_argument("--width", type=int, default=128)
+    parser.add_argument("--height", type=int, default=96)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_traces(_args: argparse.Namespace) -> int:
+    from .scenes import SCENE_SPECS
+
+    print(f"{'trace':<12} {'dataset':<16} {'indoor':<7} {'complexity':>10}")
+    for name, spec in SCENE_SPECS.items():
+        print(f"{name:<12} {spec.dataset:<16} {str(spec.indoor):<7} {spec.complexity:>10.1f}")
+    return 0
+
+
+def _setup(args: argparse.Namespace):
+    from .harness import setup_trace
+
+    return setup_trace(
+        args.trace, n_points=args.points, width=args.width, height=args.height,
+        n_train=4, n_eval=2, seed=args.seed,
+    )
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from .perf import DEFAULT_GPU, workload_from_render
+    from .splat import render
+
+    setup = _setup(args)
+    result = render(setup.scene, setup.eval_cameras[0])
+    stats = result.stats
+    fps = DEFAULT_GPU.fps(workload_from_render(result))
+    print(f"{args.trace}: {setup.scene.num_points} points")
+    print(f"projected splats: {stats.num_projected}")
+    print(f"tile intersections: {stats.total_intersections}")
+    print(f"mobile-GPU model: {fps:.1f} FPS")
+    return 0
+
+
+def cmd_prune(args: argparse.Namespace) -> int:
+    from .baselines import make_3dgs
+    from .core import compute_ce, prune_lowest_ce
+    from .hvs import psnr
+    from .perf import DEFAULT_GPU, workload_from_render
+    from .splat import render
+
+    setup = _setup(args)
+    dense = make_3dgs(setup.scene, seed=args.seed)
+    ce = compute_ce(dense.model, setup.train_cameras)
+    pruned = prune_lowest_ce(dense.model, ce.ce, args.fraction).model
+
+    for name, model in (("dense", dense.model), ("pruned", pruned)):
+        result = render(model, setup.eval_cameras[0])
+        fps = DEFAULT_GPU.fps(workload_from_render(result))
+        quality = psnr(setup.eval_targets[0], result.image)
+        print(f"{name:<7} {model.num_points:6d} pts  "
+              f"{result.stats.total_intersections:6d} ints  "
+              f"{fps:6.1f} FPS  {quality:5.1f} dB")
+    return 0
+
+
+def cmd_foveate(args: argparse.Namespace) -> int:
+    from .baselines import make_mini_splatting_d
+    from .foveation import render_foveated
+    from .harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
+    from .foveation import uniform_foveated_model
+    from .perf import DEFAULT_GPU, workload_from_fr, workload_from_render
+    from .splat import render
+
+    setup = _setup(args)
+    dense = make_mini_splatting_d(setup.scene, seed=args.seed)
+    l1 = quick_l1_model(setup, dense, keep_fraction=args.keep)
+    fmodel = uniform_foveated_model(l1, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
+
+    full = render(l1, setup.eval_cameras[0])
+    fr = render_foveated(fmodel, setup.eval_cameras[0])
+    fps_full = DEFAULT_GPU.fps(workload_from_render(full))
+    fps_fr = DEFAULT_GPU.fps(workload_from_fr(fr.stats))
+    print(f"L1 model: {l1.num_points} pts, level counts {list(fmodel.level_counts())}")
+    print(f"non-foveated: {fps_full:6.1f} FPS "
+          f"({full.stats.total_intersections} ints)")
+    print(f"foveated:     {fps_fr:6.1f} FPS "
+          f"({fr.stats.total_raster_intersections:.0f} ints, "
+          f"{fr.stats.blend_pixels} blend px)")
+    print(f"FR speedup: {fps_fr / fps_full:.2f}x")
+    return 0
+
+
+def cmd_accel(args: argparse.Namespace) -> int:
+    from .accel import (
+        GSCORE,
+        METASAPIENS_BASE,
+        METASAPIENS_TM,
+        METASAPIENS_TM_IP,
+        area_mm2,
+        energy_reduction,
+        run_accelerator,
+    )
+    from .baselines import make_mini_splatting_d
+    from .foveation import render_foveated, uniform_foveated_model
+    from .harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
+    from .perf import workload_from_fr
+
+    setup = _setup(args)
+    dense = make_mini_splatting_d(setup.scene, seed=args.seed)
+    l1 = quick_l1_model(setup, dense, keep_fraction=args.keep)
+    fmodel = uniform_foveated_model(l1, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
+    fr = render_foveated(fmodel, setup.eval_cameras[0])
+    workload = workload_from_fr(fr.stats)
+    ints = fr.stats.raster_intersections_per_tile
+
+    print(f"{'design':<20} {'speedup':>8} {'util':>6} {'area':>7} {'energy':>8}")
+    for config in (METASAPIENS_BASE, METASAPIENS_TM, METASAPIENS_TM_IP, GSCORE):
+        run = run_accelerator(ints, workload, config)
+        print(f"{config.name:<20} {run.speedup:7.1f}x {run.utilization:6.2f} "
+              f"{area_mm2(config):6.2f} {energy_reduction(workload, config):7.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("traces", help="list the 13 evaluation traces")
+
+    p_render = sub.add_parser("render", help="render a trace, report workload/FPS")
+    _common_args(p_render)
+
+    p_prune = sub.add_parser("prune", help="CE-prune a dense model, compare")
+    _common_args(p_prune)
+    p_prune.add_argument("--fraction", type=float, default=0.6,
+                         help="fraction of points to remove")
+
+    p_fov = sub.add_parser("foveate", help="foveated vs full render workload")
+    _common_args(p_fov)
+    p_fov.add_argument("--keep", type=float, default=0.4, help="L1 keep fraction")
+
+    p_accel = sub.add_parser("accel", help="accelerator design-space summary")
+    _common_args(p_accel)
+    p_accel.add_argument("--keep", type=float, default=0.4, help="L1 keep fraction")
+    return parser
+
+
+COMMANDS = {
+    "traces": cmd_traces,
+    "render": cmd_render,
+    "prune": cmd_prune,
+    "foveate": cmd_foveate,
+    "accel": cmd_accel,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

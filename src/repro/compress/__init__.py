@@ -1,0 +1,17 @@
+"""Model compression beyond pruning: SH vector quantization (LightGS-style)."""
+
+from .vq import (
+    CompressedModel,
+    VQCodebook,
+    compress_model,
+    quantization_error,
+    train_codebook,
+)
+
+__all__ = [
+    "CompressedModel",
+    "VQCodebook",
+    "compress_model",
+    "quantization_error",
+    "train_codebook",
+]

@@ -1,0 +1,161 @@
+"""Vector quantization for SH coefficients (LightGaussian-style).
+
+The paper's related-work section notes that pruning composes with
+non-pruning compression such as vector quantization [17]: the higher-order
+SH coefficients carry little energy per point and compress well into a small
+shared codebook.  This module implements k-means codebook VQ over the SH
+"rest" coefficients (the DC component stays full precision — it is the
+component MetaSapiens multi-versions, so quantizing it would interact badly
+with FR level training).
+
+Storage model: codebook (K × D floats) + one per-point index (2 bytes for
+K ≤ 65536), replacing D floats per point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.gaussians import BYTES_PER_FLOAT, GaussianModel
+
+INDEX_BYTES = 2
+
+
+@dataclasses.dataclass
+class VQCodebook:
+    """A trained codebook over flattened SH-rest vectors."""
+
+    centers: np.ndarray  # (K, D)
+
+    @property
+    def num_codes(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centers.shape[1]
+
+    def assign(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centre index for each row of ``vectors`` (N, D)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        # ||v - c||² = ||v||² - 2 v·c + ||c||²; argmin over c.
+        cross = vectors @ self.centers.T
+        c_norm = np.sum(self.centers**2, axis=1)
+        return np.argmin(c_norm[None, :] - 2.0 * cross, axis=1)
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        return self.centers[np.asarray(indices)]
+
+
+def train_codebook(
+    vectors: np.ndarray,
+    num_codes: int,
+    iterations: int = 10,
+    seed: int = 0,
+) -> VQCodebook:
+    """Lloyd's k-means on ``(N, D)`` vectors.
+
+    Empty clusters are re-seeded from the points farthest from their centre,
+    so the codebook never collapses.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    if n == 0:
+        raise ValueError("cannot train a codebook on zero vectors")
+    num_codes = min(num_codes, n)
+    rng = np.random.default_rng(seed)
+    centers = vectors[rng.choice(n, size=num_codes, replace=False)].copy()
+    book = VQCodebook(centers=centers)
+
+    for _ in range(iterations):
+        assign = book.assign(vectors)
+        dists = np.sum((vectors - centers[assign]) ** 2, axis=1)
+        for k in range(num_codes):
+            mask = assign == k
+            if mask.any():
+                centers[k] = vectors[mask].mean(axis=0)
+            else:
+                centers[k] = vectors[np.argmax(dists)]
+                dists[np.argmax(dists)] = 0.0
+    return VQCodebook(centers=centers)
+
+
+@dataclasses.dataclass
+class CompressedModel:
+    """A Gaussian model with VQ-compressed higher-order SH.
+
+    The base model keeps positions/scales/rotations/opacity/DC untouched;
+    ``sh_rest`` is replaced by codebook indices.
+    """
+
+    base: GaussianModel  # sh rest zeroed (kept for shape compatibility)
+    codebook: VQCodebook
+    indices: np.ndarray  # (N,)
+
+    @property
+    def num_points(self) -> int:
+        return self.base.num_points
+
+    def decompress(self) -> GaussianModel:
+        """Materialize a full model with reconstructed SH-rest."""
+        model = self.base.copy()
+        k = model.sh.shape[1]
+        if k > 1:
+            rest = self.codebook.decode(self.indices).reshape(
+                model.num_points, k - 1, 3
+            )
+            model.sh[:, 1:, :] = rest
+        return model
+
+    def storage_bytes(self) -> int:
+        """Uncompressed parameters + codebook + per-point indices."""
+        k = self.base.sh.shape[1]
+        kept_params = 3 + 3 + 4 + 1 + 3  # everything except SH-rest
+        base_bytes = self.num_points * kept_params * BYTES_PER_FLOAT
+        codebook_bytes = self.codebook.centers.size * BYTES_PER_FLOAT
+        index_bytes = self.num_points * INDEX_BYTES
+        return base_bytes + codebook_bytes + index_bytes
+
+    def compression_ratio(self) -> float:
+        """Original model bytes / compressed bytes (>1 is a win)."""
+        full = self.base.num_points * (
+            (3 + 3 + 4 + 1 + self.base.sh.shape[1] * 3) * BYTES_PER_FLOAT
+        )
+        return full / self.storage_bytes()
+
+
+def compress_model(
+    model: GaussianModel,
+    num_codes: int = 256,
+    iterations: int = 10,
+    seed: int = 0,
+) -> CompressedModel:
+    """VQ-compress a model's higher-order SH coefficients.
+
+    Degree-0 models have nothing to compress; they round-trip losslessly
+    through a single zero code.
+    """
+    k = model.sh.shape[1]
+    base = model.copy()
+    if k == 1:
+        codebook = VQCodebook(centers=np.zeros((1, 1)))
+        indices = np.zeros(model.num_points, dtype=np.int64)
+        return CompressedModel(base=base, codebook=codebook, indices=indices)
+
+    rest = model.sh[:, 1:, :].reshape(model.num_points, -1)
+    codebook = train_codebook(rest, num_codes, iterations=iterations, seed=seed)
+    indices = codebook.assign(rest)
+    base.sh[:, 1:, :] = 0.0
+    return CompressedModel(base=base, codebook=codebook, indices=indices)
+
+
+def quantization_error(model: GaussianModel, compressed: CompressedModel) -> float:
+    """RMS error of the reconstructed SH-rest coefficients."""
+    k = model.sh.shape[1]
+    if k == 1:
+        return 0.0
+    original = model.sh[:, 1:, :].reshape(model.num_points, -1)
+    restored = compressed.decompress().sh[:, 1:, :].reshape(model.num_points, -1)
+    return float(np.sqrt(np.mean((original - restored) ** 2)))

@@ -1,0 +1,44 @@
+"""MetaSapiens contribution #1: efficiency-aware pruning (paper Sec 3)."""
+
+from .ce import CEResult, compute_ce, frame_ce
+from .pipeline import (
+    PruneTrainConfig,
+    PruneTrainResult,
+    efficiency_aware_optimize,
+    make_l1_quality_loss,
+    mean_intersections,
+)
+from .pruning import PruneResult, prune_lowest_ce, prune_to_count
+from .scale_decay import (
+    ScaleDecayConfig,
+    make_scale_decay_regularizer,
+    measure_usage,
+    usage_weights,
+    weighted_scale,
+    weighted_scale_grad,
+)
+from .variants import VARIANT_PSNR_FRACTION, VariantResult, build_variant, mean_psnr
+
+__all__ = [
+    "CEResult",
+    "PruneResult",
+    "PruneTrainConfig",
+    "PruneTrainResult",
+    "ScaleDecayConfig",
+    "VARIANT_PSNR_FRACTION",
+    "VariantResult",
+    "build_variant",
+    "compute_ce",
+    "efficiency_aware_optimize",
+    "frame_ce",
+    "make_l1_quality_loss",
+    "make_scale_decay_regularizer",
+    "mean_intersections",
+    "mean_psnr",
+    "measure_usage",
+    "prune_lowest_ce",
+    "prune_to_count",
+    "usage_weights",
+    "weighted_scale",
+    "weighted_scale_grad",
+]

@@ -1,0 +1,150 @@
+"""The iterative prune / re-train controller of Fig 6 (Sec 3.4).
+
+Given a dense model:
+
+1. compute CE for all points and prune the lowest-CE ``R`` fraction,
+2. if the quality loss rose above the prescribed threshold, re-train with
+   the composite loss ``L = L_quality + γ·WS`` (scale decay) until quality
+   recovers,
+3. repeat until the iteration budget is exhausted.
+
+Pruning and scale decay interact (scaling an ellipse changes its CE), which
+is exactly why the loop re-measures CE every round.  The controller needs no
+quality-specific hyper-parameter tuning: monitoring L_quality automatically
+yields a model at the requested quality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..splat.camera import Camera
+from ..splat.gaussians import GaussianModel
+from ..splat.renderer import RenderConfig, render
+from ..train.losses import l1_loss
+from ..train.trainer import TrainConfig, finetune
+from .ce import compute_ce
+from .pruning import prune_lowest_ce
+from .scale_decay import ScaleDecayConfig, make_scale_decay_regularizer
+
+# A quality loss maps (model) -> scalar, lower = better quality.
+QualityLoss = Callable[[GaussianModel], float]
+
+
+@dataclasses.dataclass
+class PruneTrainConfig:
+    """Knobs of the Fig 6 loop."""
+
+    prune_fraction: float = 0.10  # R in the paper
+    max_iterations: int = 4
+    max_retrain_rounds: int = 2
+    quality_threshold: float | None = None  # absolute L_quality bound
+    relative_threshold: float = 1.10  # or: allow 10% above the dense loss
+    train: TrainConfig = dataclasses.field(default_factory=TrainConfig)
+    scale_decay: ScaleDecayConfig = dataclasses.field(default_factory=ScaleDecayConfig)
+    render: RenderConfig = dataclasses.field(default_factory=RenderConfig)
+
+
+@dataclasses.dataclass
+class PruneTrainResult:
+    """Output of the controller: the efficient model and its trajectory."""
+
+    model: GaussianModel
+    quality_history: list[float]
+    point_history: list[int]
+    intersection_history: list[float]
+
+
+def make_l1_quality_loss(
+    cameras: Sequence[Camera],
+    targets: Sequence[np.ndarray],
+    config: RenderConfig | None = None,
+) -> QualityLoss:
+    """Default L_quality: mean L1 against target images over eval views."""
+
+    def loss(model: GaussianModel) -> float:
+        total = 0.0
+        for camera, target in zip(cameras, targets):
+            result = render(model, camera, config)
+            total += l1_loss(result.image, target) / len(cameras)
+        return total
+
+    return loss
+
+
+def mean_intersections(
+    model: GaussianModel,
+    cameras: Sequence[Camera],
+    config: RenderConfig | None = None,
+) -> float:
+    """Mean per-frame tile–ellipse intersections over poses."""
+    total = 0.0
+    for camera in cameras:
+        result = render(model, camera, config)
+        total += result.stats.total_intersections / len(cameras)
+    return total
+
+
+def efficiency_aware_optimize(
+    dense_model: GaussianModel,
+    train_cameras: Sequence[Camera],
+    train_targets: Sequence[np.ndarray],
+    quality_loss: QualityLoss | None = None,
+    config: PruneTrainConfig | None = None,
+) -> PruneTrainResult:
+    """Run the full Fig 6 procedure on a dense model.
+
+    ``quality_loss`` defaults to the L1 loss against the training targets;
+    benchmarks pass an HVSQ-based loss for the foveated levels (Sec 4.3).
+    """
+    config = config or PruneTrainConfig()
+    if quality_loss is None:
+        quality_loss = make_l1_quality_loss(train_cameras, train_targets, config.render)
+
+    model = dense_model.copy()
+    baseline_quality = quality_loss(model)
+    threshold = (
+        config.quality_threshold
+        if config.quality_threshold is not None
+        else baseline_quality * config.relative_threshold
+    )
+
+    quality_history = [baseline_quality]
+    point_history = [model.num_points]
+    intersection_history = [mean_intersections(model, train_cameras, config.render)]
+
+    regularizer = make_scale_decay_regularizer(
+        train_cameras, config.scale_decay, config.render
+    )
+
+    for _ in range(config.max_iterations):
+        ce = compute_ce(model, train_cameras, config.render)
+        pruned = prune_lowest_ce(model, ce.ce, config.prune_fraction)
+        model = pruned.model
+
+        quality = quality_loss(model)
+        rounds = 0
+        while quality > threshold and rounds < config.max_retrain_rounds:
+            finetune(
+                model,
+                train_cameras,
+                train_targets,
+                config.train,
+                regularizer=regularizer,
+            )
+            quality = quality_loss(model)
+            rounds += 1
+
+        quality_history.append(quality)
+        point_history.append(model.num_points)
+        intersection_history.append(mean_intersections(model, train_cameras, config.render))
+
+    return PruneTrainResult(
+        model=model,
+        quality_history=quality_history,
+        point_history=point_history,
+        intersection_history=intersection_history,
+    )

@@ -1,0 +1,76 @@
+"""Intersection-aware pruning — Sec 3.2.
+
+Sorting points by CE and removing the lowest-CE fraction removes the points
+that consume the most tile–ellipse intersections per pixel of visual
+contribution — the quantity that actually limits rendering speed (Sec 3.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.gaussians import GaussianModel
+
+
+@dataclasses.dataclass
+class PruneResult:
+    """A pruned model plus the bookkeeping of what was removed."""
+
+    model: GaussianModel
+    kept_indices: np.ndarray  # indices into the *input* model
+    removed_indices: np.ndarray
+
+    @property
+    def prune_fraction(self) -> float:
+        total = self.kept_indices.size + self.removed_indices.size
+        return self.removed_indices.size / total if total else 0.0
+
+
+def prune_lowest_ce(
+    model: GaussianModel,
+    ce: np.ndarray,
+    fraction: float,
+) -> PruneResult:
+    """Remove the ``fraction`` of points with the lowest CE.
+
+    Ties are broken deterministically by index.  ``fraction`` is clamped so
+    at least one point always survives.
+    """
+    ce = np.asarray(ce, dtype=np.float64)
+    if ce.shape != (model.num_points,):
+        raise ValueError(f"ce must be (N,)={model.num_points}, got {ce.shape}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+
+    n = model.num_points
+    n_remove = min(int(np.floor(n * fraction)), n - 1)
+    order = np.argsort(ce, kind="stable")  # ascending: lowest CE first
+    removed = np.sort(order[:n_remove])
+    kept = np.sort(order[n_remove:])
+    return PruneResult(model=model.subset(kept), kept_indices=kept, removed_indices=removed)
+
+
+def prune_to_count(
+    model: GaussianModel,
+    ce: np.ndarray,
+    target_points: int,
+) -> PruneResult:
+    """Prune down to an exact point budget (used to match FR level sizes)."""
+    if target_points <= 0:
+        raise ValueError("target_points must be positive")
+    target_points = min(target_points, model.num_points)
+    fraction = 1.0 - target_points / model.num_points
+    result = prune_lowest_ce(model, ce, fraction)
+    # Floor rounding can keep one extra point; trim deterministically.
+    while result.model.num_points > target_points:
+        order = np.argsort(ce[result.kept_indices], kind="stable")
+        drop = result.kept_indices[order[0]]
+        keep_mask = result.kept_indices != drop
+        result = PruneResult(
+            model=model.subset(result.kept_indices[keep_mask]),
+            kept_indices=result.kept_indices[keep_mask],
+            removed_indices=np.sort(np.append(result.removed_indices, drop)),
+        )
+    return result

@@ -1,0 +1,108 @@
+"""Scale decay — Sec 3.3, Eqns 4–6.
+
+The Weighted Scale metric averages ellipse scales, counting only points that
+are both large **and** heavily used in rendering:
+
+    WS = (1/N) Σ_i S_i · G_i,      G_i = (U_i > T) · (U_i − T)
+
+where ``S_i`` is the maximum span of point ``i``'s ellipse, ``U_i`` the
+number of tiles using the point, and ``T`` a usage threshold.  Integrated
+into training as ``L = L_quality + γ·WS`` (Eqn 6), its gradient pushes down
+the scales of exactly the points responsible for excess tile–ellipse
+intersections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..splat.camera import Camera
+from ..splat.gaussians import GaussianModel
+from ..splat.renderer import RenderConfig, render
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleDecayConfig:
+    """Hyper-parameters of the WS regularizer."""
+
+    gamma: float = 1e-3  # γ in Eqn 6
+    usage_threshold: float = 4.0  # T in Eqn 5, in tiles
+
+
+def usage_weights(tiles_per_point: np.ndarray, threshold: float) -> np.ndarray:
+    """G_i of Eqn 5: thresholded tile-usage weights."""
+    u = np.asarray(tiles_per_point, dtype=np.float64)
+    return np.where(u > threshold, u - threshold, 0.0)
+
+
+def weighted_scale(model: GaussianModel, tiles_per_point: np.ndarray, threshold: float) -> float:
+    """The WS metric (Eqn 4) for a model under a given usage profile."""
+    g = usage_weights(tiles_per_point, threshold)
+    return float(np.mean(model.max_scales * g))
+
+
+def weighted_scale_grad(
+    model: GaussianModel,
+    tiles_per_point: np.ndarray,
+    config: ScaleDecayConfig,
+) -> tuple[float, np.ndarray]:
+    """γ·WS and its gradient w.r.t. the per-point isotropic log-scale.
+
+    ``S_i = exp(max_axis log_scale)``; an isotropic log-scale offset ``u``
+    shifts every axis equally, so ``dS_i/du = S_i`` and the gradient of
+    γ·WS w.r.t. ``u_i`` is ``γ · G_i · S_i / N``.  Tile usage ``U_i`` is
+    treated as a constant (it changes only through the non-differentiable
+    tiling step, re-measured each pruning round per Fig 6).
+    """
+    g = usage_weights(tiles_per_point, config.usage_threshold)
+    scales = model.max_scales
+    n = model.num_points
+    loss = config.gamma * float(np.mean(scales * g))
+    grad = config.gamma * g * scales / n
+    return loss, grad
+
+
+def measure_usage(
+    model: GaussianModel,
+    cameras: Sequence[Camera],
+    config: RenderConfig | None = None,
+) -> np.ndarray:
+    """Per-point tile usage U_i, averaged over poses (for the WS weights)."""
+    usage = np.zeros(model.num_points)
+    for camera in cameras:
+        result = render(model, camera, config)
+        usage += result.stats.tiles_per_point / len(cameras)
+    return usage
+
+
+def make_scale_decay_regularizer(
+    cameras: Sequence[Camera],
+    config: ScaleDecayConfig | None = None,
+    render_config: RenderConfig | None = None,
+    refresh_every: int = 5,
+):
+    """Build a trainer-compatible regularizer closure applying γ·WS.
+
+    Tile usage is re-measured every ``refresh_every`` calls (a full re-tiling
+    per optimizer step would dominate runtime for no benefit — usage varies
+    slowly during fine-tuning).
+    """
+    config = config or ScaleDecayConfig()
+    state: dict[str, object] = {"usage": None, "calls": 0}
+
+    def regularizer(model: GaussianModel) -> tuple[float, dict[str, np.ndarray]]:
+        calls = int(state["calls"])
+        if state["usage"] is None or calls % refresh_every == 0:
+            state["usage"] = measure_usage(model, cameras, render_config)
+        state["calls"] = calls + 1
+        usage = state["usage"]
+        if usage.shape[0] != model.num_points:  # model was pruned since
+            usage = measure_usage(model, cameras, render_config)
+            state["usage"] = usage
+        loss, grad = weighted_scale_grad(model, usage, config)
+        return loss, {"log_scales": grad}
+
+    return regularizer

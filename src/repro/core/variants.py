@@ -1,0 +1,109 @@
+"""MetaSapiens model variants (Sec 6): -H, -M, -L.
+
+The three variants differ in how far the L1 (foveal) model is pruned from
+the dense model: to 99%, 98% and 97% of the dense model's PSNR respectively,
+landing at roughly 16% / 12% / 10% of the dense model size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..hvs.metrics import psnr
+from ..splat.camera import Camera
+from ..splat.gaussians import GaussianModel
+from ..splat.renderer import RenderConfig, render
+from ..train.trainer import TrainConfig, finetune
+from .ce import compute_ce
+from .pruning import prune_lowest_ce
+from .scale_decay import ScaleDecayConfig, make_scale_decay_regularizer
+
+VARIANT_PSNR_FRACTION = {"H": 0.99, "M": 0.98, "L": 0.97}
+
+
+@dataclasses.dataclass
+class VariantResult:
+    """A MetaSapiens variant's L1 model and its quality bookkeeping."""
+
+    name: str
+    model: GaussianModel
+    psnr: float
+    dense_psnr: float
+    size_fraction: float  # model storage relative to the dense model
+
+    @property
+    def psnr_fraction(self) -> float:
+        return self.psnr / self.dense_psnr if self.dense_psnr else float("nan")
+
+
+def mean_psnr(
+    model: GaussianModel,
+    cameras: Sequence[Camera],
+    targets: Sequence[np.ndarray],
+    config: RenderConfig | None = None,
+) -> float:
+    """Average PSNR of a model against target images."""
+    values = []
+    for camera, target in zip(cameras, targets):
+        result = render(model, camera, config)
+        values.append(psnr(target, result.image))
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.mean(finite)) if finite else float("inf")
+
+
+def build_variant(
+    dense_model: GaussianModel,
+    cameras: Sequence[Camera],
+    targets: Sequence[np.ndarray],
+    variant: str = "H",
+    prune_fraction: float = 0.15,
+    max_rounds: int = 12,
+    train_config: TrainConfig | None = None,
+    scale_decay: ScaleDecayConfig | None = None,
+    render_config: RenderConfig | None = None,
+    finetune_rounds: int = 1,
+) -> VariantResult:
+    """Prune a dense model until PSNR hits the variant's target fraction.
+
+    Follows Sec 3.4/Sec 6: repeated CE pruning with scale-decay re-training,
+    stopping just *before* PSNR would fall below the variant's fraction of
+    the dense model's PSNR (the last model still above the bar is returned).
+    """
+    variant = variant.upper()
+    if variant not in VARIANT_PSNR_FRACTION:
+        raise KeyError(f"variant must be one of {sorted(VARIANT_PSNR_FRACTION)}")
+    target_fraction = VARIANT_PSNR_FRACTION[variant]
+
+    dense_psnr = mean_psnr(dense_model, cameras, targets, render_config)
+    floor = dense_psnr * target_fraction
+
+    regularizer = make_scale_decay_regularizer(
+        cameras, scale_decay or ScaleDecayConfig(), render_config
+    )
+    train_config = train_config or TrainConfig(iterations=8)
+
+    model = dense_model.copy()
+    best = model
+    best_psnr = dense_psnr
+    for _ in range(max_rounds):
+        ce = compute_ce(model, cameras, render_config)
+        candidate = prune_lowest_ce(model, ce.ce, prune_fraction).model
+        for _ in range(finetune_rounds):
+            finetune(candidate, cameras, targets, train_config, regularizer=regularizer)
+        candidate_psnr = mean_psnr(candidate, cameras, targets, render_config)
+        if candidate_psnr < floor:
+            break
+        model = candidate
+        best = candidate
+        best_psnr = candidate_psnr
+
+    return VariantResult(
+        name=f"MetaSapiens-{variant}",
+        model=best,
+        psnr=best_psnr,
+        dense_psnr=dense_psnr,
+        size_fraction=best.storage_bytes() / dense_model.storage_bytes(),
+    )

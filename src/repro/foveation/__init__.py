@@ -1,0 +1,45 @@
+"""MetaSapiens contribution #2: foveated rendering for PBNR (paper Sec 4)."""
+
+from .baselines import make_mmfr, make_smfr, mmfr_storage_bytes, smfr_storage_bytes
+from .fr_renderer import FRRenderResult, FRRenderStats, render_foveated, render_multi_model
+from .hierarchy import MULTI_VERSIONED_PARAMS, FoveatedModel, uniform_foveated_model
+from .regions import (
+    PAPER_REGION_BOUNDARIES_DEG,
+    RegionLayout,
+    RegionMaps,
+    compute_region_maps,
+    region_masks,
+    region_pixel_fractions,
+)
+from .training import (
+    FRTrainConfig,
+    FRTrainResult,
+    build_foveated_model,
+    finetune_level,
+    measure_level_hvsq,
+)
+
+__all__ = [
+    "FRRenderResult",
+    "FRRenderStats",
+    "FRTrainConfig",
+    "FRTrainResult",
+    "FoveatedModel",
+    "MULTI_VERSIONED_PARAMS",
+    "PAPER_REGION_BOUNDARIES_DEG",
+    "RegionLayout",
+    "RegionMaps",
+    "build_foveated_model",
+    "compute_region_maps",
+    "finetune_level",
+    "make_mmfr",
+    "make_smfr",
+    "measure_level_hvsq",
+    "mmfr_storage_bytes",
+    "region_masks",
+    "region_pixel_fractions",
+    "render_foveated",
+    "render_multi_model",
+    "smfr_storage_bytes",
+    "uniform_foveated_model",
+]

@@ -1,0 +1,86 @@
+"""The two FR baselines of Table 1: SMFR and MMFR (Sec 6).
+
+- **SMFR** (Single-Model FR): one dense model; lower-quality regions are
+  rendered with *randomly sampled* point subsets.  Structurally this is our
+  representation with strict subsetting and **no** multi-versioning — fast
+  and storage-free, but peripheral quality collapses (its L4 HVSQ is ~10×
+  worse in the paper).
+- **MMFR** (Multi-Model FR, Fov-NeRF style): each level is an independently
+  pruned and fine-tuned model — every parameter is effectively
+  multi-versioned.  Best peripheral HVSQ, but pays N× projection cost and
+  ~1.9× storage.
+
+Both match our method's per-level point budgets, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.ce import compute_ce
+from ..splat.camera import Camera
+from ..splat.gaussians import GaussianModel
+from ..splat.renderer import RenderConfig
+from ..train.trainer import TrainConfig, finetune
+from .hierarchy import FoveatedModel, uniform_foveated_model
+from .regions import RegionLayout
+
+
+def make_smfr(
+    l1_model: GaussianModel,
+    layout: RegionLayout | None = None,
+    level_fractions: tuple[float, ...] = (1.0, 0.55, 0.3, 0.17),
+    seed: int = 0,
+) -> FoveatedModel:
+    """SMFR: random subsetting, shared parameters (no multi-versioning)."""
+    layout = layout or RegionLayout()
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(l1_model.num_points)
+    return uniform_foveated_model(
+        l1_model.copy(), layout, level_fractions=level_fractions, order=order
+    )
+
+
+def smfr_storage_bytes(model: FoveatedModel) -> int:
+    """SMFR stores just the single model plus per-point quality bounds."""
+    return model.base.storage_bytes() + model.num_points
+
+
+def make_mmfr(
+    l1_model: GaussianModel,
+    cameras: Sequence[Camera],
+    targets: Sequence[np.ndarray],
+    layout: RegionLayout | None = None,
+    level_fractions: tuple[float, ...] = (1.0, 0.55, 0.3, 0.17),
+    finetune_iterations: int = 5,
+    render_config: RenderConfig | None = None,
+) -> list[GaussianModel]:
+    """MMFR: one independent model per level, each pruned from L1 and
+    fine-tuned with *all* trainable parameters free."""
+    layout = layout or RegionLayout()
+    if len(level_fractions) != layout.num_levels:
+        raise ValueError(f"need {layout.num_levels} level fractions")
+
+    models = [l1_model.copy()]
+    n = l1_model.num_points
+    for level in range(2, layout.num_levels + 1):
+        budget = max(1, int(round(n * level_fractions[level - 1])))
+        ce = compute_ce(l1_model, cameras, render_config)
+        order = np.argsort(-ce.ce, kind="stable")
+        level_model = l1_model.subset(np.sort(order[:budget]))
+        if finetune_iterations > 0 and cameras:
+            finetune(
+                level_model,
+                cameras,
+                targets,
+                TrainConfig(iterations=finetune_iterations),
+            )
+        models.append(level_model)
+    return models
+
+
+def mmfr_storage_bytes(models: Sequence[GaussianModel]) -> int:
+    """MMFR stores every level model in full."""
+    return sum(m.storage_bytes() for m in models)

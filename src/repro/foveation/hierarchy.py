@@ -1,0 +1,234 @@
+"""Hierarchical subset representation with selective multi-versioning (Sec 4.2).
+
+The FR data representation: one point set (the L1 / highest-quality set),
+where each point carries a **quality bound** ``m`` — the highest (coarsest)
+level that still uses it.  Level ``t`` renders the subset ``{i : m_i ≥ t}``,
+so L4 ⊂ L3 ⊂ L2 ⊂ L1 by construction and total storage equals the L1 model
+(no N-model duplication).
+
+Selective multi-versioning: a point keeps ``m`` versions of exactly two
+parameters — opacity and the SH DC colour — one per level it participates
+in; all other parameters (position, rotation, scales, higher-order SH) are
+shared across levels.  The paper finds these four scalars (1 opacity + 3 DC)
+to affect pixel colours the most, at ~6% storage overhead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.gaussians import BYTES_PER_FLOAT, GaussianModel
+from ..splat.sh import SH_C0
+from .regions import RegionLayout
+
+# Parameters that are multi-versioned per level: opacity + SH_DC (3 channels).
+MULTI_VERSIONED_PARAMS = 4
+
+
+@dataclasses.dataclass
+class FoveatedModel:
+    """An FR-ready model: base parameters + per-level subsets and versions."""
+
+    base: GaussianModel
+    quality_bounds: np.ndarray  # (N,) int in [1, num_levels]
+    mv_opacity_logits: np.ndarray  # (N, L); column t-1 used at level t
+    mv_sh_dc: np.ndarray  # (N, L, 3)
+    layout: RegionLayout
+
+    def __post_init__(self) -> None:
+        n = self.base.num_points
+        levels = self.layout.num_levels
+        self.quality_bounds = np.ascontiguousarray(self.quality_bounds, dtype=np.int64)
+        self.mv_opacity_logits = np.ascontiguousarray(self.mv_opacity_logits, dtype=np.float64)
+        self.mv_sh_dc = np.ascontiguousarray(self.mv_sh_dc, dtype=np.float64)
+        if self.quality_bounds.shape != (n,):
+            raise ValueError(f"quality_bounds must be (N,), got {self.quality_bounds.shape}")
+        if self.quality_bounds.min(initial=1) < 1 or self.quality_bounds.max(initial=1) > levels:
+            raise ValueError("quality bounds must lie in [1, num_levels]")
+        if self.mv_opacity_logits.shape != (n, levels):
+            raise ValueError(
+                f"mv_opacity_logits must be (N, {levels}), got {self.mv_opacity_logits.shape}"
+            )
+        if self.mv_sh_dc.shape != (n, levels, 3):
+            raise ValueError(f"mv_sh_dc must be (N, {levels}, 3), got {self.mv_sh_dc.shape}")
+
+    # ------------------------------------------------------------------
+    # Level structure
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return self.layout.num_levels
+
+    @property
+    def num_points(self) -> int:
+        return self.base.num_points
+
+    def level_mask(self, level: int) -> np.ndarray:
+        """Boolean mask of points used at quality level ``level`` (1-based)."""
+        self._check_level(level)
+        return self.quality_bounds >= level
+
+    def level_point_count(self, level: int) -> int:
+        return int(self.level_mask(level).sum())
+
+    def level_counts(self) -> np.ndarray:
+        """Point counts of all levels, ``(L,)`` — non-increasing by design."""
+        return np.asarray([self.level_point_count(t) for t in range(1, self.num_levels + 1)])
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(f"level must be in [1, {self.num_levels}], got {level}")
+
+    # ------------------------------------------------------------------
+    # Per-level parameter views
+    # ------------------------------------------------------------------
+    def level_opacity_logits(self, level: int) -> np.ndarray:
+        """Full-length ``(N,)`` opacity logits for rendering level ``level``."""
+        self._check_level(level)
+        return self.mv_opacity_logits[:, level - 1]
+
+    def level_opacities(self, level: int) -> np.ndarray:
+        from ..splat.gaussians import sigmoid
+
+        return sigmoid(self.level_opacity_logits(level))
+
+    def level_sh_dc(self, level: int) -> np.ndarray:
+        """Full-length ``(N, 3)`` DC coefficients for level ``level``."""
+        self._check_level(level)
+        return self.mv_sh_dc[:, level - 1, :]
+
+    def level_color_delta(self, level: int) -> np.ndarray:
+        """RGB offset of level ``level`` relative to the base DC, ``(N, 3)``.
+
+        Because SH evaluation is linear in the coefficients, swapping the DC
+        component shifts the rendered colour by ``SH_C0 · (dc_level − dc_base)``
+        — the foveated renderer applies this delta to shared projected
+        colours instead of re-evaluating SH per level.
+        """
+        return SH_C0 * (self.level_sh_dc(level) - self.base.sh_dc)
+
+    def level_model(self, level: int) -> GaussianModel:
+        """Materialize level ``level`` as a standalone model (for analysis)."""
+        mask = self.level_mask(level)
+        model = self.base.subset(mask)
+        model.opacity_logits[:] = self.level_opacity_logits(level)[mask]
+        model.sh[:, 0, :] = self.level_sh_dc(level)[mask]
+        return model
+
+    # ------------------------------------------------------------------
+    # Storage accounting (Table 1)
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Base model + the extra multi-versioned copies.
+
+        A point with quality bound ``m`` stores ``m − 1`` extra copies of the
+        4 multi-versioned scalars (its level-1 copy lives in the base model),
+        plus one byte-packed quality bound per point (counted as 1 byte).
+        """
+        extra_versions = int(np.sum(self.quality_bounds - 1))
+        extra = extra_versions * MULTI_VERSIONED_PARAMS * BYTES_PER_FLOAT
+        bounds = self.num_points  # 1 byte each
+        return self.base.storage_bytes() + extra + bounds
+
+    def storage_overhead_fraction(self) -> float:
+        """Multi-versioning overhead relative to the base model (~6%)."""
+        base = self.base.storage_bytes()
+        return (self.storage_bytes() - base) / base if base else 0.0
+
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist the full FR bundle (base model + hierarchy) as .npz."""
+        import io
+
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            positions=self.base.positions.astype(np.float32),
+            log_scales=self.base.log_scales.astype(np.float32),
+            rotations=self.base.rotations.astype(np.float32),
+            opacity_logits=self.base.opacity_logits.astype(np.float32),
+            sh=self.base.sh.astype(np.float32),
+            quality_bounds=self.quality_bounds.astype(np.uint8),
+            mv_opacity_logits=self.mv_opacity_logits.astype(np.float32),
+            mv_sh_dc=self.mv_sh_dc.astype(np.float32),
+            boundaries_deg=np.asarray(self.layout.boundaries_deg),
+            blend_band_deg=np.asarray([self.layout.blend_band_deg]),
+        )
+        with open(path, "wb") as f:
+            f.write(buf.getvalue())
+
+    @staticmethod
+    def load(path: str) -> "FoveatedModel":
+        with np.load(path) as arrays:
+            base = GaussianModel(
+                positions=arrays["positions"],
+                log_scales=arrays["log_scales"],
+                rotations=arrays["rotations"],
+                opacity_logits=arrays["opacity_logits"],
+                sh=arrays["sh"],
+            )
+            layout = RegionLayout(
+                boundaries_deg=tuple(float(b) for b in arrays["boundaries_deg"]),
+                blend_band_deg=float(arrays["blend_band_deg"][0]),
+            )
+            return FoveatedModel(
+                base=base,
+                quality_bounds=arrays["quality_bounds"].astype(np.int64),
+                mv_opacity_logits=arrays["mv_opacity_logits"],
+                mv_sh_dc=arrays["mv_sh_dc"],
+                layout=layout,
+            )
+
+
+def uniform_foveated_model(
+    base: GaussianModel,
+    layout: RegionLayout,
+    level_fractions: tuple[float, ...] | None = None,
+    order: np.ndarray | None = None,
+) -> FoveatedModel:
+    """Build a subset hierarchy by rank: top fraction of points per level.
+
+    ``order`` ranks points by importance (descending keep-priority); defaults
+    to index order.  ``level_fractions`` gives each level's point budget as a
+    fraction of the base (must be non-increasing, first entry 1.0).
+    """
+    n = base.num_points
+    levels = layout.num_levels
+    if level_fractions is None:
+        # Geometric decay toward the paper's level sizes.
+        level_fractions = tuple(0.55**k for k in range(levels))
+    if len(level_fractions) != levels:
+        raise ValueError(f"need {levels} level fractions")
+    if abs(level_fractions[0] - 1.0) > 1e-9:
+        raise ValueError("level 1 must use all points (fraction 1.0)")
+    if any(level_fractions[i] < level_fractions[i + 1] for i in range(levels - 1)):
+        raise ValueError("level fractions must be non-increasing")
+
+    if order is None:
+        order = np.arange(n)
+    order = np.asarray(order)
+    if order.shape != (n,):
+        raise ValueError("order must rank all points")
+
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+
+    bounds = np.ones(n, dtype=np.int64)
+    for level in range(2, levels + 1):
+        budget = int(round(n * level_fractions[level - 1]))
+        bounds[rank < budget] = level
+
+    mv_opacity = np.repeat(base.opacity_logits[:, None], levels, axis=1)
+    mv_dc = np.repeat(base.sh_dc[:, None, :], levels, axis=1)
+    return FoveatedModel(
+        base=base,
+        quality_bounds=bounds,
+        mv_opacity_logits=mv_opacity,
+        mv_sh_dc=mv_dc,
+        layout=layout,
+    )

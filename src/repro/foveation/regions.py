@@ -1,0 +1,172 @@
+"""Quality regions for foveated rendering (Sec 4.1 / Sec 6).
+
+The image is divided into N eccentricity annuli around the gaze; region k is
+rendered by quality level k (1 = foveal, highest quality).  The paper uses
+four regions starting at 0°, 18°, 27° and 33° of eccentricity, covering
+roughly 13% / 17% / 21% / 49% of pixels on their headset.
+
+Blending: each region renders slightly past its outer boundary, and pixels
+inside the transition band are rendered by *both* adjacent levels and
+interpolated, eliminating the visible seam (a form of anti-aliasing across
+quality levels).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.camera import Camera
+from ..splat.tiling import TileGrid
+
+PAPER_REGION_BOUNDARIES_DEG = (0.0, 18.0, 27.0, 33.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionLayout:
+    """Eccentricity region division plus the blending band width."""
+
+    boundaries_deg: tuple[float, ...] = PAPER_REGION_BOUNDARIES_DEG
+    blend_band_deg: float = 1.5
+
+    def __post_init__(self) -> None:
+        b = self.boundaries_deg
+        if len(b) < 1 or b[0] != 0.0:
+            raise ValueError("boundaries must start at 0 degrees")
+        if any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("boundaries must be strictly increasing")
+        if self.blend_band_deg < 0:
+            raise ValueError("blend band must be non-negative")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.boundaries_deg)
+
+    def level_of(self, eccentricity_deg: np.ndarray) -> np.ndarray:
+        """Quality level (1-based) of each eccentricity value."""
+        ecc = np.asarray(eccentricity_deg, dtype=np.float64)
+        level = np.ones(ecc.shape, dtype=np.int64)
+        for boundary in self.boundaries_deg[1:]:
+            level += (ecc >= boundary).astype(np.int64)
+        return level
+
+    def blend_weights(self, eccentricity_deg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Blend factor toward the *next* level inside transition bands.
+
+        Returns ``(needs_blend (bool), weight_next (float in [0, 1]))``:
+        pixels in the band ``[b_k − h, b_k + h]`` around boundary ``b_k`` mix
+        level k and level k+1, with ``weight_next`` ramping 0 → 1 across the
+        band (each region renders slightly beyond its boundary, and the
+        doubly-rendered pixels are interpolated — Sec 4.1).
+        """
+        ecc = np.asarray(eccentricity_deg, dtype=np.float64)
+        needs_blend = np.zeros(ecc.shape, dtype=bool)
+        weight_next = np.zeros(ecc.shape, dtype=np.float64)
+        h = self.blend_band_deg
+        if h == 0:
+            return needs_blend, weight_next
+        for boundary in self.boundaries_deg[1:]:
+            in_band = (ecc >= boundary - h) & (ecc < boundary + h)
+            needs_blend |= in_band
+            w = (ecc - (boundary - h)) / (2.0 * h)  # 0 → 1 across the band
+            weight_next = np.where(in_band, np.clip(w, 0.0, 1.0), weight_next)
+        return needs_blend, weight_next
+
+
+@dataclasses.dataclass
+class RegionMaps:
+    """Precomputed per-pixel and per-tile foveation maps for one view.
+
+    Following the paper, a tile is assigned **one** quality level from its
+    eccentricity (we use the tile centre); only tiles containing blend-band
+    pixels are rendered at a second level, and only those pixels are
+    composited twice (~25% of pixels at headset scale).
+    """
+
+    pixel_level: np.ndarray  # (H, W) 1-based quality level of each pixel
+    needs_blend: np.ndarray  # (H, W) pixels rendered twice
+    weight_next: np.ndarray  # (H, W) blend factor toward the outer level
+    band_level: np.ndarray  # (H, W) inner level k of the band a pixel is in (0 = none)
+    tile_level: np.ndarray  # (T,) the level each tile is rendered at
+    tile_second_level: np.ndarray  # (T,) extra level for blending (0 = none)
+    eccentricity: np.ndarray  # (H, W) degrees
+
+    @property
+    def blend_fraction(self) -> float:
+        """Fraction of pixels rendered twice (the paper reports ≈ 25%)."""
+        return float(self.needs_blend.mean())
+
+
+def compute_region_maps(
+    camera: Camera,
+    grid: TileGrid,
+    layout: RegionLayout,
+    gaze: tuple[float, float] | None = None,
+) -> RegionMaps:
+    """Per-pixel levels / blend weights and per-tile render levels."""
+    ecc = camera.pixel_eccentricity(gaze)
+    pixel_level = layout.level_of(ecc)
+    needs_blend, weight_next = layout.blend_weights(ecc)
+
+    # Which boundary's band each blend pixel belongs to (inner level k).
+    band_level = np.zeros(ecc.shape, dtype=np.int64)
+    h = layout.blend_band_deg
+    for k, boundary in enumerate(layout.boundaries_deg[1:], start=1):
+        in_band = (ecc >= boundary - h) & (ecc < boundary + h)
+        band_level[in_band] = k
+
+    # Tile level from the tile-centre eccentricity (one level per tile).
+    centers = grid.tile_centers()
+    cx = np.clip(centers[:, 0].astype(np.int64), 0, grid.width - 1)
+    cy = np.clip(centers[:, 1].astype(np.int64), 0, grid.height - 1)
+    tile_level = pixel_level[cy, cx]
+
+    tile_second_level = np.zeros(grid.num_tiles, dtype=np.int64)
+    for tile_id in range(grid.num_tiles):
+        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+        bands = band_level[y0:y1, x0:x1]
+        bands = bands[bands > 0]
+        if bands.size == 0:
+            continue
+        # Dominant band in the tile decides the second render level: the
+        # band mixes levels (k, k+1); the tile's primary covers one of them.
+        k = int(np.bincount(bands).argmax())
+        primary = int(tile_level[tile_id])
+        if primary <= k:
+            tile_second_level[tile_id] = min(k + 1, layout.num_levels)
+        else:
+            tile_second_level[tile_id] = k
+        if tile_second_level[tile_id] == primary:
+            tile_second_level[tile_id] = 0
+
+    return RegionMaps(
+        pixel_level=pixel_level,
+        needs_blend=needs_blend,
+        weight_next=weight_next,
+        band_level=band_level,
+        tile_level=tile_level,
+        tile_second_level=tile_second_level,
+        eccentricity=ecc,
+    )
+
+
+def region_masks(
+    camera: Camera,
+    layout: RegionLayout,
+    gaze: tuple[float, float] | None = None,
+) -> list[np.ndarray]:
+    """Boolean pixel mask of each quality region (for per-region HVSQ)."""
+    ecc = camera.pixel_eccentricity(gaze)
+    level = layout.level_of(ecc)
+    return [level == k for k in range(1, layout.num_levels + 1)]
+
+
+def region_pixel_fractions(
+    camera: Camera,
+    layout: RegionLayout,
+    gaze: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Fraction of image pixels in each region (paper: 13/17/21/49%)."""
+    masks = region_masks(camera, layout, gaze)
+    return np.asarray([m.mean() for m in masks])

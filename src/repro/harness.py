@@ -1,0 +1,242 @@
+"""High-level experiment harness shared by examples and benchmarks.
+
+Wraps the end-to-end flow every experiment needs: generate a trace, render
+ground truth, build baselines / MetaSapiens variants / foveated models, and
+measure FPS + quality.  All sizes are explicit so benchmarks can pick their
+own speed/fidelity point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from .baselines import BaselineModel, build_baselines
+from .core.ce import compute_ce
+from .core.pruning import prune_lowest_ce
+from .core.variants import VariantResult, build_variant, mean_psnr
+from .foveation import (
+    FoveatedModel,
+    FRTrainConfig,
+    RegionLayout,
+    build_foveated_model,
+    render_foveated,
+)
+from .hvs.metrics import lpips_proxy, psnr, ssim
+from .perf import (
+    DEFAULT_GPU,
+    FrameWorkload,
+    GPUModel,
+    mean_workload,
+    workload_from_fr,
+    workload_from_render,
+)
+from .scenes import generate_scene, trace_cameras
+from .splat import Camera, GaussianModel, RenderConfig, render
+
+# Region boundaries used throughout the repo's experiments.  The paper's
+# 0/18/27/33° assume a ~106°+ headset FOV; our evaluation cameras use 70°,
+# so the boundaries are scaled to keep the same relative region areas.
+EVAL_REGION_LAYOUT = RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0), blend_band_deg=1.5)
+
+# Default per-level point budgets for foveated hierarchies.
+EVAL_LEVEL_FRACTIONS = (1.0, 0.45, 0.22, 0.10)
+
+
+@dataclasses.dataclass
+class TraceSetup:
+    """A trace ready for experiments: scene, poses, ground-truth images."""
+
+    name: str
+    scene: GaussianModel
+    train_cameras: list[Camera]
+    eval_cameras: list[Camera]
+    train_targets: list[np.ndarray]
+    eval_targets: list[np.ndarray]
+
+
+def setup_trace(
+    name: str,
+    n_points: int = 1500,
+    width: int = 128,
+    height: int = 96,
+    n_train: int = 4,
+    n_eval: int = 2,
+    fov_x_deg: float = 70.0,
+    seed: int = 0,
+) -> TraceSetup:
+    """Generate a trace and its ground-truth renders."""
+    scene = generate_scene(name, n_points=n_points)
+    train, eval_cams = trace_cameras(
+        name, n_train=n_train, n_eval=n_eval, width=width, height=height,
+        fov_x_deg=fov_x_deg, seed=seed,
+    )
+    train_targets = [render(scene, c).image for c in train]
+    eval_targets = [render(scene, c).image for c in eval_cams]
+    return TraceSetup(
+        name=name,
+        scene=scene,
+        train_cameras=train,
+        eval_cameras=eval_cams,
+        train_targets=train_targets,
+        eval_targets=eval_targets,
+    )
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class MethodMeasurement:
+    """FPS + objective quality of one method on one trace."""
+
+    name: str
+    fps: float
+    psnr: float
+    ssim: float
+    lpips: float
+    workload: FrameWorkload
+
+
+def measure_baseline(
+    baseline: BaselineModel,
+    setup: TraceSetup,
+    gpu: GPUModel | None = None,
+) -> MethodMeasurement:
+    """Render a baseline over the eval poses; report mean FPS and quality."""
+    gpu = gpu or DEFAULT_GPU
+    workloads, psnrs, ssims, lpipss = [], [], [], []
+    for camera, target in zip(setup.eval_cameras, setup.eval_targets):
+        result = render(baseline.model, camera, baseline.render_config)
+        workloads.append(workload_from_render(result, baseline.render_config))
+        psnrs.append(psnr(target, result.image))
+        ssims.append(ssim(target, result.image))
+        lpipss.append(lpips_proxy(target, result.image))
+    workload = mean_workload(workloads)
+    return MethodMeasurement(
+        name=baseline.name,
+        fps=gpu.fps(workload),
+        psnr=float(np.mean([p for p in psnrs if np.isfinite(p)] or [np.inf])),
+        ssim=float(np.mean(ssims)),
+        lpips=float(np.mean(lpipss)),
+        workload=workload,
+    )
+
+
+def measure_foveated(
+    name: str,
+    fmodel: FoveatedModel,
+    setup: TraceSetup,
+    gpu: GPUModel | None = None,
+    gaze: tuple[float, float] | None = None,
+) -> MethodMeasurement:
+    """Render a foveated model over the eval poses; quality is measured on
+    the foveal (level-1) region as in the paper's Fig 13 protocol."""
+    gpu = gpu or DEFAULT_GPU
+    from .foveation.regions import region_masks
+
+    workloads, psnrs, ssims, lpipss = [], [], [], []
+    for camera, target in zip(setup.eval_cameras, setup.eval_targets):
+        result = render_foveated(fmodel, camera, gaze=gaze)
+        workloads.append(workload_from_fr(result.stats))
+        fovea = region_masks(camera, fmodel.layout, gaze)[0]
+        ref = np.where(fovea[:, :, None], target, 0.0)
+        img = np.where(fovea[:, :, None], result.image, 0.0)
+        psnrs.append(psnr(ref, img))
+        ssims.append(ssim(ref, img))
+        lpipss.append(lpips_proxy(ref, img))
+    workload = mean_workload(workloads)
+    return MethodMeasurement(
+        name=name,
+        fps=gpu.fps(workload),
+        psnr=float(np.mean([p for p in psnrs if np.isfinite(p)] or [np.inf])),
+        ssim=float(np.mean(ssims)),
+        lpips=float(np.mean(lpipss)),
+        workload=workload,
+    )
+
+
+# ----------------------------------------------------------------------
+# MetaSapiens model construction (fast path for experiments)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class MetaSapiensModels:
+    """Everything a MetaSapiens variant produces for one trace."""
+
+    variant: VariantResult
+    foveated: FoveatedModel
+    hvsq_per_level: list[float]
+
+
+def build_metasapiens(
+    setup: TraceSetup,
+    variant: str = "H",
+    dense: BaselineModel | None = None,
+    layout: RegionLayout | None = None,
+    level_fractions: Sequence[float] | None = None,
+    prune_rounds: int = 6,
+    finetune_levels: bool = True,
+    finetune_iterations: int = 4,
+) -> MetaSapiensModels:
+    """Build a MetaSapiens variant: L1 via CE pruning + the FR hierarchy."""
+    layout = layout or EVAL_REGION_LAYOUT
+    fractions = tuple(level_fractions or EVAL_LEVEL_FRACTIONS)
+    if dense is None:
+        dense = build_baselines(setup.scene, setup.train_cameras, names=("Mini-Splatting-D",))[
+            "Mini-Splatting-D"
+        ]
+
+    variant_result = build_variant(
+        dense.model,
+        setup.train_cameras,
+        setup.train_targets,
+        variant=variant,
+        max_rounds=prune_rounds,
+    )
+
+    fr_result = build_foveated_model(
+        variant_result.model,
+        setup.train_cameras,
+        setup.train_targets,
+        layout=layout,
+        config=FRTrainConfig(
+            level_fractions=fractions,
+            finetune_iterations=finetune_iterations,
+        ),
+        finetune=finetune_levels,
+    )
+    return MetaSapiensModels(
+        variant=variant_result,
+        foveated=fr_result.model,
+        hvsq_per_level=fr_result.hvsq_per_level,
+    )
+
+
+def quick_l1_model(
+    setup: TraceSetup,
+    dense: BaselineModel,
+    keep_fraction: float = 0.35,
+) -> GaussianModel:
+    """One-shot CE pruning (no re-training) — a fast stand-in for the full
+    Fig 6 loop when an experiment only needs a plausibly pruned L1 model."""
+    ce = compute_ce(dense.model, setup.train_cameras, dense.render_config)
+    n_keep = max(1, int(dense.model.num_points * keep_fraction))
+    order = np.argsort(-ce.ce, kind="stable")
+    return dense.model.subset(np.sort(order[:n_keep]))
+
+
+__all__ = [
+    "EVAL_LEVEL_FRACTIONS",
+    "EVAL_REGION_LAYOUT",
+    "MetaSapiensModels",
+    "MethodMeasurement",
+    "TraceSetup",
+    "build_metasapiens",
+    "measure_baseline",
+    "measure_foveated",
+    "mean_psnr",
+    "quick_l1_model",
+    "setup_trace",
+]

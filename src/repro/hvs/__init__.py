@@ -1,0 +1,24 @@
+"""Human visual system model: eccentricity, pooling, HVSQ, objective metrics."""
+
+from .eccentricity import PoolingModel, eccentricity_map, pooling_radius_map, quantize_radii
+from .features import NUM_FEATURES, box_filter, feature_stack, luminance, pooled_statistics
+from .hvsq import HVSQResult, hvsq, hvsq_per_region
+from .metrics import lpips_proxy, psnr, ssim
+
+__all__ = [
+    "HVSQResult",
+    "NUM_FEATURES",
+    "PoolingModel",
+    "box_filter",
+    "eccentricity_map",
+    "feature_stack",
+    "hvsq",
+    "hvsq_per_region",
+    "lpips_proxy",
+    "luminance",
+    "pooled_statistics",
+    "pooling_radius_map",
+    "psnr",
+    "quantize_radii",
+    "ssim",
+]

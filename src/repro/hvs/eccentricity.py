@@ -1,0 +1,85 @@
+"""Eccentricity geometry and retinal pooling sizes (Sec 2.2 of the paper).
+
+The HVSQ metric needs, per pixel, the size of the *spatial pooling* region —
+the retinal neighbourhood whose feature statistics the visual system
+aggregates.  Pooling size grows with eccentricity (Freeman & Simoncelli
+2011); we model the pooling **diameter** in visual degrees as
+
+    d(e) = d0 + k1·e + k2·e²
+
+with a linear term dominating (k1 ≈ 0.4, Bouma-law scale) and a small
+quadratic term reflecting the accelerating fall-off the paper cites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.camera import Camera
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolingModel:
+    """Eccentricity → pooling-diameter model, in visual degrees."""
+
+    d0_deg: float = 0.25  # foveal floor
+    k1: float = 0.40  # linear growth (Bouma-style)
+    k2: float = 0.002  # mild quadratic acceleration
+
+    def diameter_deg(self, eccentricity_deg: np.ndarray) -> np.ndarray:
+        e = np.asarray(eccentricity_deg, dtype=np.float64)
+        return self.d0_deg + self.k1 * e + self.k2 * e * e
+
+    def diameter_px(self, eccentricity_deg: np.ndarray, degrees_per_pixel: float) -> np.ndarray:
+        """Pooling diameter in pixels (at least one pixel)."""
+        diam = self.diameter_deg(eccentricity_deg) / max(degrees_per_pixel, 1e-9)
+        return np.maximum(diam, 1.0)
+
+
+def eccentricity_map(
+    camera: Camera,
+    gaze: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Per-pixel eccentricity (degrees) for a camera and gaze point."""
+    return camera.pixel_eccentricity(gaze)
+
+
+def pooling_radius_map(
+    camera: Camera,
+    gaze: tuple[float, float] | None = None,
+    pooling: PoolingModel | None = None,
+) -> np.ndarray:
+    """Per-pixel pooling *radius* in pixels (integer, ≥ 0)."""
+    pooling = pooling or PoolingModel()
+    ecc = eccentricity_map(camera, gaze)
+    diam = pooling.diameter_px(ecc, camera.degrees_per_pixel())
+    return np.maximum(np.round(diam / 2.0).astype(np.int64) - 0, 0)
+
+
+def quantize_radii(radii: np.ndarray, levels: int = 6) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a per-pixel radius map to a small set of distinct radii.
+
+    Box-filtering at arbitrary per-pixel radii is quadratic; instead we pick
+    ``levels`` representative radii (geometrically spaced) and assign each
+    pixel the nearest one from above (conservative: never smaller pooling).
+
+    Returns ``(distinct_radii (L,), per-pixel level index (H, W))``.
+    """
+    radii = np.asarray(radii)
+    r_max = int(radii.max(initial=0))
+    if r_max <= 0:
+        return np.zeros(1, dtype=np.int64), np.zeros(radii.shape, dtype=np.int64)
+    # Geometric ladder from 1 to r_max, always including 0.
+    ladder = [0]
+    r = 1.0
+    while len(ladder) < levels and r < r_max:
+        ladder.append(int(round(r)))
+        r *= 1.8
+    ladder.append(r_max)
+    distinct = np.unique(np.asarray(ladder, dtype=np.int64))
+    # Assign each pixel the smallest ladder radius >= its radius.
+    idx = np.searchsorted(distinct, radii, side="left")
+    idx = np.clip(idx, 0, len(distinct) - 1)
+    return distinct, idx

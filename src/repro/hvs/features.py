@@ -1,0 +1,63 @@
+"""Early-vision feature extraction for the HVSQ metric.
+
+The HVSQ metric compares pooled statistics "in a feature space (as opposed
+to the pixel space) to emulate the feature extraction in human's early
+visual processing" (Sec 2.2).  We use a compact steerable-filter-like bank:
+
+- luminance (L),
+- horizontal and vertical gradient magnitude (simple/complex-cell response),
+- a centre-surround (Laplacian) channel.
+
+These are the standard first-stage channels of metamer models; they are
+cheap, differentiable in principle, and sufficient for the pooled mean/std
+statistics of Eqn 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+NUM_FEATURES = 4
+
+
+def luminance(image: np.ndarray) -> np.ndarray:
+    """Rec.601 luma of an ``(H, W, 3)`` image."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return image
+    return image @ LUMA_WEIGHTS
+
+
+def feature_stack(image: np.ndarray) -> np.ndarray:
+    """Feature maps of an image, shape ``(F, H, W)`` with ``F = 4``."""
+    luma = luminance(image)
+    gx = ndimage.sobel(luma, axis=1, mode="nearest") / 8.0
+    gy = ndimage.sobel(luma, axis=0, mode="nearest") / 8.0
+    lap = ndimage.laplace(luma, mode="nearest") / 8.0
+    return np.stack([luma, np.abs(gx), np.abs(gy), np.abs(lap)])
+
+
+def box_filter(data: np.ndarray, radius: int) -> np.ndarray:
+    """Mean filter with a ``(2r+1)²`` window via a uniform filter.
+
+    ``radius = 0`` returns the input unchanged.
+    """
+    if radius <= 0:
+        return np.asarray(data, dtype=np.float64)
+    size = 2 * radius + 1
+    return ndimage.uniform_filter(np.asarray(data, dtype=np.float64), size=size, mode="nearest")
+
+
+def pooled_statistics(features: np.ndarray, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pooled mean and standard deviation of each feature map.
+
+    Returns two ``(F, H, W)`` arrays: windowed mean and windowed std at a
+    fixed pooling radius.
+    """
+    mean = np.stack([box_filter(f, radius) for f in features])
+    mean_sq = np.stack([box_filter(f * f, radius) for f in features])
+    var = np.maximum(mean_sq - mean * mean, 0.0)
+    return mean, np.sqrt(var)

@@ -1,0 +1,130 @@
+"""The eccentricity-aware HVS Quality metric (Eqn 2 of the paper).
+
+    HVSQ = (1/N) Σ_i [ ‖M(Iᵃ_i) − M(Iʳ_i)‖² + ‖σ(Iᵃ_i) − σ(Iʳ_i)‖² ]
+
+Every pixel ``i`` owns a spatial pooling whose size grows with the pixel's
+eccentricity; ``M`` and ``σ`` are the mean and standard deviation of early-
+vision features inside that pooling.  Lower is more similar; two images whose
+pooled feature statistics agree everywhere are *metamers* — indistinguishable
+to a human observer fixating the gaze point.
+
+Implementation notes: per-pixel variable-radius pooling is computed by
+quantizing radii to a small ladder, box-filtering once per ladder level and
+gathering per pixel (exact for pixels whose radius is on the ladder,
+conservative otherwise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.camera import Camera
+from .eccentricity import PoolingModel, eccentricity_map, quantize_radii
+from .features import feature_stack, pooled_statistics
+
+
+@dataclasses.dataclass
+class HVSQResult:
+    """HVSQ value plus the per-pixel error map (for regional aggregation)."""
+
+    value: float
+    error_map: np.ndarray  # (H, W) per-pixel pooled-statistic distance
+    eccentricity: np.ndarray  # (H, W) degrees
+
+
+def _per_pixel_error(
+    reference: np.ndarray,
+    altered: np.ndarray,
+    radius_levels: np.ndarray,
+    level_index: np.ndarray,
+) -> np.ndarray:
+    """Per-pixel Σ_f (Δmean² + Δstd²), pooling radius chosen per pixel."""
+    feats_ref = feature_stack(reference)
+    feats_alt = feature_stack(altered)
+
+    h, w = level_index.shape
+    error = np.zeros((h, w), dtype=np.float64)
+    for li, radius in enumerate(radius_levels):
+        mask = level_index == li
+        if not mask.any():
+            continue
+        mean_r, std_r = pooled_statistics(feats_ref, int(radius))
+        mean_a, std_a = pooled_statistics(feats_alt, int(radius))
+        err = ((mean_a - mean_r) ** 2).sum(axis=0) + ((std_a - std_r) ** 2).sum(axis=0)
+        error[mask] = err[mask]
+    return error
+
+
+def hvsq(
+    reference: np.ndarray,
+    altered: np.ndarray,
+    camera: Camera,
+    gaze: tuple[float, float] | None = None,
+    pooling: PoolingModel | None = None,
+    region_mask: np.ndarray | None = None,
+) -> HVSQResult:
+    """Compute HVSQ of ``altered`` w.r.t. ``reference`` under a gaze.
+
+    Parameters
+    ----------
+    reference, altered:
+        ``(H, W, 3)`` images in [0, 1].
+    camera:
+        Supplies the pixel→visual-angle mapping (display geometry).
+    gaze:
+        Gaze pixel; defaults to the image centre.
+    region_mask:
+        Optional boolean ``(H, W)`` mask restricting the average to a region
+        (Sec 4.3: per-quality-level HVSQ simply iterates over the region's
+        poolings instead of the whole image).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    altered = np.asarray(altered, dtype=np.float64)
+    if reference.shape != altered.shape:
+        raise ValueError(f"image shapes differ: {reference.shape} vs {altered.shape}")
+    if reference.shape[0] != camera.height or reference.shape[1] != camera.width:
+        raise ValueError("image size does not match camera")
+
+    pooling = pooling or PoolingModel()
+    ecc = eccentricity_map(camera, gaze)
+    diam = pooling.diameter_px(ecc, camera.degrees_per_pixel())
+    radii = np.maximum(np.round(diam / 2.0).astype(np.int64), 0)
+    radius_levels, level_index = quantize_radii(radii)
+
+    error = _per_pixel_error(reference, altered, radius_levels, level_index)
+
+    if region_mask is not None:
+        region_mask = np.asarray(region_mask, dtype=bool)
+        if region_mask.shape != error.shape:
+            raise ValueError("region_mask shape mismatch")
+        if not region_mask.any():
+            raise ValueError("region_mask selects no pixels")
+        value = float(error[region_mask].mean())
+    else:
+        value = float(error.mean())
+    return HVSQResult(value=value, error_map=error, eccentricity=ecc)
+
+
+def hvsq_per_region(
+    reference: np.ndarray,
+    altered: np.ndarray,
+    camera: Camera,
+    region_boundaries_deg: tuple[float, ...],
+    gaze: tuple[float, float] | None = None,
+    pooling: PoolingModel | None = None,
+) -> list[float]:
+    """HVSQ of each eccentricity annulus (the paper's per-level L1..L4).
+
+    ``region_boundaries_deg`` are the inner eccentricities of each region,
+    e.g. ``(0, 18, 27, 33)``; region ``k`` spans ``[b_k, b_{k+1})`` degrees
+    (the last region is unbounded above).
+    """
+    result = hvsq(reference, altered, camera, gaze=gaze, pooling=pooling)
+    values = []
+    bounds = list(region_boundaries_deg) + [np.inf]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        mask = (result.eccentricity >= lo) & (result.eccentricity < hi)
+        values.append(float(result.error_map[mask].mean()) if mask.any() else float("nan"))
+    return values

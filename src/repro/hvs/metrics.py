@@ -1,0 +1,99 @@
+"""Objective image-quality metrics: PSNR, SSIM, and an LPIPS proxy.
+
+The paper reports PSNR / SSIM / LPIPS for the foveal region comparison
+(Fig 13).  PSNR and SSIM are the standard definitions.  True LPIPS needs a
+pretrained CNN, unavailable offline; ``lpips_proxy`` is a multi-scale
+gradient-feature distance with the same direction (lower = more similar) and
+a similar sensitivity profile (penalizes structural differences across
+scales more than uniform shifts).  DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from .features import luminance
+
+
+def psnr(reference: np.ndarray, altered: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (identical images → inf)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    altered = np.asarray(altered, dtype=np.float64)
+    if reference.shape != altered.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {altered.shape}")
+    mse = float(np.mean((reference - altered) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / mse))
+
+
+def ssim(
+    reference: np.ndarray,
+    altered: np.ndarray,
+    data_range: float = 1.0,
+    sigma: float = 1.5,
+) -> float:
+    """Mean SSIM over luminance with a Gaussian window (Wang et al. 2004)."""
+    ref = luminance(np.asarray(reference, dtype=np.float64))
+    alt = luminance(np.asarray(altered, dtype=np.float64))
+    if ref.shape != alt.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {alt.shape}")
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+
+    def blur(x: np.ndarray) -> np.ndarray:
+        return ndimage.gaussian_filter(x, sigma=sigma, mode="nearest")
+
+    mu_r = blur(ref)
+    mu_a = blur(alt)
+    mu_r_sq = mu_r * mu_r
+    mu_a_sq = mu_a * mu_a
+    mu_ra = mu_r * mu_a
+    sigma_r = blur(ref * ref) - mu_r_sq
+    sigma_a = blur(alt * alt) - mu_a_sq
+    sigma_ra = blur(ref * alt) - mu_ra
+
+    num = (2.0 * mu_ra + c1) * (2.0 * sigma_ra + c2)
+    den = (mu_r_sq + mu_a_sq + c1) * (sigma_r + sigma_a + c2)
+    return float(np.mean(num / den))
+
+
+def lpips_proxy(reference: np.ndarray, altered: np.ndarray, n_scales: int = 3) -> float:
+    """Perceptual-distance proxy: multi-scale normalized feature distance.
+
+    At each pyramid scale, compares unit-normalized (luma, |∇x|, |∇y|)
+    feature vectors per pixel — the same "normalized deep feature distance"
+    recipe as LPIPS with a fixed, hand-crafted feature bank.  Range ≈ [0, 1];
+    lower is more similar.
+    """
+    ref = np.asarray(reference, dtype=np.float64)
+    alt = np.asarray(altered, dtype=np.float64)
+    if ref.shape != alt.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {alt.shape}")
+
+    def features(img: np.ndarray) -> np.ndarray:
+        luma = luminance(img)
+        gx = ndimage.sobel(luma, axis=1, mode="nearest") / 8.0
+        gy = ndimage.sobel(luma, axis=0, mode="nearest") / 8.0
+        stack = np.stack([luma, gx, gy], axis=-1)  # (H, W, 3)
+        norm = np.linalg.norm(stack, axis=-1, keepdims=True)
+        return stack / np.maximum(norm, 1e-6)
+
+    def downsample(img: np.ndarray) -> np.ndarray:
+        blurred = ndimage.gaussian_filter(img, sigma=(1.0, 1.0, 0.0), mode="nearest")
+        return blurred[::2, ::2]
+
+    total = 0.0
+    cur_ref, cur_alt = ref, alt
+    scales = 0
+    for _ in range(n_scales):
+        if min(cur_ref.shape[0], cur_ref.shape[1]) < 4:
+            break
+        dist = np.mean(np.sum((features(cur_ref) - features(cur_alt)) ** 2, axis=-1))
+        total += float(dist)
+        scales += 1
+        cur_ref = downsample(cur_ref)
+        cur_alt = downsample(cur_alt)
+    return total / max(scales, 1)

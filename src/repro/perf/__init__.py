@@ -1,0 +1,15 @@
+"""Mobile-GPU performance model (calibrated; see gpu_model docstring)."""
+
+from .gpu_model import DEFAULT_GPU, GPUModel, fps_of, latency_ms_of
+from .workload import FrameWorkload, mean_workload, workload_from_fr, workload_from_render
+
+__all__ = [
+    "DEFAULT_GPU",
+    "FrameWorkload",
+    "GPUModel",
+    "fps_of",
+    "latency_ms_of",
+    "mean_workload",
+    "workload_from_fr",
+    "workload_from_render",
+]

@@ -1,0 +1,43 @@
+"""Dataset substitute: procedural scenes and camera trajectories.
+
+Stands in for Mip-NeRF 360, Tanks & Temples and Deep Blending (13 traces);
+see DESIGN.md for the substitution rationale.
+"""
+
+from .synthetic import (
+    ALL_TRACES,
+    DATASETS,
+    MIPNERF360_TRACES,
+    SCENE_SPECS,
+    SceneSpec,
+    generate_scene,
+    scene_spec,
+    traces_for_dataset,
+)
+from .gaze import GazeModel, gaze_trajectory, saccade_frames
+from .trajectory import (
+    PAPER_TRAJECTORY_FPS,
+    PAPER_TRAJECTORY_POSES,
+    interpolate_trajectory,
+    orbit_poses,
+    trace_cameras,
+)
+
+__all__ = [
+    "ALL_TRACES",
+    "GazeModel",
+    "gaze_trajectory",
+    "saccade_frames",
+    "DATASETS",
+    "MIPNERF360_TRACES",
+    "PAPER_TRAJECTORY_FPS",
+    "PAPER_TRAJECTORY_POSES",
+    "SCENE_SPECS",
+    "SceneSpec",
+    "generate_scene",
+    "interpolate_trajectory",
+    "orbit_poses",
+    "scene_spec",
+    "trace_cameras",
+    "traces_for_dataset",
+]

@@ -1,0 +1,98 @@
+"""Gaze dynamics: fixation/saccade trajectories for dynamic foveation.
+
+The paper evaluates FR with a real eye tracker (Quest Pro).  Offline we
+model the two regimes of human gaze:
+
+- **fixations**: the gaze dwells on a point with small ocular drift
+  (fractions of a degree) for 200–600 ms;
+- **saccades**: rapid ballistic jumps (tens of degrees within ~30–80 ms)
+  to a new fixation target.
+
+The generated trajectory drives :func:`repro.foveation.render_foveated`'s
+``gaze`` argument frame by frame; workload follows the gaze, which is what
+makes dynamic foveation interesting for the accelerator (the heavy foveal
+tiles move across the tile grid).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class GazeModel:
+    """Statistical parameters of the simulated scanpath."""
+
+    fixation_mean_s: float = 0.35
+    fixation_min_s: float = 0.15
+    drift_deg_per_s: float = 0.5
+    saccade_duration_s: float = 0.05
+    # Saccade targets are drawn within this fraction of the display extent
+    # around the centre (viewers rarely fixate extreme corners).
+    target_spread: float = 0.7
+
+
+def gaze_trajectory(
+    width: int,
+    height: int,
+    n_frames: int,
+    fps: float = 90.0,
+    model: GazeModel | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Simulate a scanpath, returning per-frame gaze pixels ``(N, 2)``.
+
+    Alternates fixations (with Brownian drift) and linearly interpolated
+    saccades; all positions stay inside the display.
+    """
+    model = model or GazeModel()
+    rng = np.random.default_rng(seed)
+    dt = 1.0 / fps
+    center = np.array([width / 2.0, height / 2.0])
+    half = np.array([width / 2.0, height / 2.0]) * model.target_spread
+
+    def sample_target() -> np.ndarray:
+        return center + rng.uniform(-1.0, 1.0, size=2) * half
+
+    # Rough pixels-per-degree for drift amplitude (display-agnostic scale).
+    px_per_deg = width / 90.0
+
+    gaze = np.empty((n_frames, 2))
+    position = sample_target()
+    frame = 0
+    while frame < n_frames:
+        # Fixation.
+        duration = max(model.fixation_min_s, rng.exponential(model.fixation_mean_s))
+        n_fix = max(1, int(round(duration * fps)))
+        drift_sd = model.drift_deg_per_s * px_per_deg * dt
+        for _ in range(min(n_fix, n_frames - frame)):
+            position = position + rng.normal(scale=drift_sd, size=2)
+            position = np.clip(position, [0, 0], [width - 1, height - 1])
+            gaze[frame] = position
+            frame += 1
+        if frame >= n_frames:
+            break
+        # Saccade to a new target.
+        target = sample_target()
+        n_sac = max(1, int(round(model.saccade_duration_s * fps)))
+        for i in range(min(n_sac, n_frames - frame)):
+            t = (i + 1) / n_sac
+            gaze[frame] = np.clip(
+                position + (target - position) * t, [0, 0], [width - 1, height - 1]
+            )
+            frame += 1
+        position = target
+    return gaze
+
+
+def saccade_frames(gaze: np.ndarray, threshold_px: float = 4.0) -> np.ndarray:
+    """Boolean mask of frames whose gaze jumped more than ``threshold_px``."""
+    gaze = np.asarray(gaze)
+    if gaze.shape[0] < 2:
+        return np.zeros(gaze.shape[0], dtype=bool)
+    steps = np.linalg.norm(np.diff(gaze, axis=0), axis=1)
+    mask = np.zeros(gaze.shape[0], dtype=bool)
+    mask[1:] = steps > threshold_px
+    return mask

@@ -1,0 +1,235 @@
+"""Procedural ground-truth scenes standing in for the paper's datasets.
+
+The paper evaluates on 13 traces: nine Mip-NeRF 360 scenes (bicycle, garden,
+stump, room, counter, kitchen, bonsai, flowers, treehill), two Tanks&Temples
+scenes (truck, train) and two DeepBlending scenes (drjohnson, playroom).  We
+have none of that data offline, so each trace gets a procedural Gaussian
+scene with matched qualitative structure:
+
+- *outdoor* traces: large spatial extent, a textured ground plane, several
+  foreground clutter clusters and a sparse far background shell;
+- *indoor* traces: a bounded room box (walls as flattened Gaussians), dense
+  furniture-like clusters.
+
+Relative complexity (point budget multipliers) follows the real datasets —
+bicycle/garden are the heaviest, DeepBlending rooms the lightest — so the
+per-trace spread in figures like Fig 3 and Fig 14 survives the substitution.
+
+The generated model is the *ground truth*: evaluation images are rendered
+from it, and "trained" models (3DGS, Mini-Splatting-D, …) are derived from
+it by :mod:`repro.baselines` with dataset-style redundancy injected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..splat.gaussians import GaussianModel, inverse_sigmoid, normalize_quaternions
+from ..splat.sh import num_sh_coeffs, rgb_to_dc
+
+
+@dataclasses.dataclass(frozen=True)
+class SceneSpec:
+    """Static description of one dataset trace."""
+
+    name: str
+    dataset: str
+    indoor: bool
+    complexity: float  # point-budget multiplier relative to the median trace
+    extent: float  # world-space half-extent of the main content
+
+
+SCENE_SPECS: dict[str, SceneSpec] = {
+    # Mip-NeRF 360 (outdoor)
+    "bicycle": SceneSpec("bicycle", "mipnerf360", False, 1.8, 8.0),
+    "garden": SceneSpec("garden", "mipnerf360", False, 1.6, 7.0),
+    "stump": SceneSpec("stump", "mipnerf360", False, 1.3, 6.0),
+    "flowers": SceneSpec("flowers", "mipnerf360", False, 1.4, 6.0),
+    "treehill": SceneSpec("treehill", "mipnerf360", False, 1.4, 7.0),
+    # Mip-NeRF 360 (indoor)
+    "room": SceneSpec("room", "mipnerf360", True, 1.0, 4.0),
+    "counter": SceneSpec("counter", "mipnerf360", True, 1.0, 3.5),
+    "kitchen": SceneSpec("kitchen", "mipnerf360", True, 1.1, 4.0),
+    "bonsai": SceneSpec("bonsai", "mipnerf360", True, 0.9, 3.0),
+    # Tanks & Temples
+    "truck": SceneSpec("truck", "tanksandtemples", False, 1.2, 6.0),
+    "train": SceneSpec("train", "tanksandtemples", False, 1.1, 6.5),
+    # Deep Blending
+    "drjohnson": SceneSpec("drjohnson", "deepblending", True, 0.9, 4.0),
+    "playroom": SceneSpec("playroom", "deepblending", True, 0.8, 3.5),
+}
+
+ALL_TRACES: tuple[str, ...] = tuple(SCENE_SPECS)
+MIPNERF360_TRACES: tuple[str, ...] = tuple(
+    name for name, spec in SCENE_SPECS.items() if spec.dataset == "mipnerf360"
+)
+DATASETS: tuple[str, ...] = ("mipnerf360", "tanksandtemples", "deepblending")
+
+
+def _seed_for(name: str) -> int:
+    """Stable per-trace seed (independent of PYTHONHASHSEED)."""
+    return sum(ord(ch) * (31**i) for i, ch in enumerate(name)) % (2**31)
+
+
+def _cluster(
+    rng: np.random.Generator,
+    n: int,
+    center: np.ndarray,
+    spread: np.ndarray,
+    scale_range: tuple[float, float],
+    base_color: np.ndarray,
+    sh_degree: int,
+) -> GaussianModel:
+    """A blob of Gaussians around ``center`` with colour variation."""
+    k = num_sh_coeffs(sh_degree)
+    positions = rng.normal(loc=center, scale=spread, size=(n, 3))
+    log_scales = np.log(rng.uniform(*scale_range, size=(n, 3)))
+    rotations = normalize_quaternions(rng.normal(size=(n, 4)))
+    opacity = inverse_sigmoid(rng.uniform(0.55, 0.98, size=n))
+    colors = np.clip(base_color + rng.normal(scale=0.12, size=(n, 3)), 0.02, 0.98)
+    sh = np.zeros((n, k, 3))
+    sh[:, 0, :] = rgb_to_dc(colors)
+    if k > 1:
+        sh[:, 1:, :] = rng.normal(scale=0.04, size=(n, k - 1, 3))
+    return GaussianModel(positions, log_scales, rotations, opacity, sh)
+
+
+def _plane(
+    rng: np.random.Generator,
+    n: int,
+    extent: float,
+    offset: float,
+    base_color: np.ndarray,
+    sh_degree: int,
+    normal_axis: int = 1,
+) -> GaussianModel:
+    """A planar slab of flattened Gaussians.
+
+    ``normal_axis`` selects the plane's normal (0 = x wall, 1 = y floor,
+    2 = z back wall); ``offset`` places the plane along that axis.
+    """
+    k = num_sh_coeffs(sh_degree)
+    in_plane = [axis for axis in range(3) if axis != normal_axis]
+    positions = np.empty((n, 3))
+    positions[:, normal_axis] = offset + rng.normal(scale=0.02, size=n)
+    for axis in in_plane:
+        positions[:, axis] = rng.uniform(-extent, extent, size=n)
+    # Flat along the normal, broad in the plane.
+    scales = np.empty((n, 3))
+    scales[:, normal_axis] = rng.uniform(0.01, 0.03, size=n)
+    for axis in in_plane:
+        scales[:, axis] = rng.uniform(0.08, 0.25, size=n)
+    log_scales = np.log(scales)
+    rotations = np.tile(np.array([1.0, 0.0, 0.0, 0.0]), (n, 1))
+    opacity = inverse_sigmoid(rng.uniform(0.7, 0.98, size=n))
+    colors = np.clip(base_color + rng.normal(scale=0.08, size=(n, 3)), 0.02, 0.98)
+    sh = np.zeros((n, k, 3))
+    sh[:, 0, :] = rgb_to_dc(colors)
+    return GaussianModel(positions, log_scales, rotations, opacity, sh)
+
+
+def _background_shell(
+    rng: np.random.Generator,
+    n: int,
+    radius: float,
+    sh_degree: int,
+) -> GaussianModel:
+    """Sparse distant shell (sky/far geometry) for outdoor scenes."""
+    k = num_sh_coeffs(sh_degree)
+    directions = rng.normal(size=(n, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    directions[:, 1] = -np.abs(directions[:, 1]) * 0.5  # keep above the horizon
+    positions = directions * radius
+    log_scales = np.log(rng.uniform(0.4, 1.2, size=(n, 3)))
+    rotations = normalize_quaternions(rng.normal(size=(n, 4)))
+    opacity = inverse_sigmoid(rng.uniform(0.4, 0.8, size=n))
+    sky = np.array([0.55, 0.65, 0.85])
+    colors = np.clip(sky + rng.normal(scale=0.1, size=(n, 3)), 0.02, 0.98)
+    sh = np.zeros((n, k, 3))
+    sh[:, 0, :] = rgb_to_dc(colors)
+    return GaussianModel(positions, log_scales, rotations, opacity, sh)
+
+
+def generate_scene(
+    name: str,
+    n_points: int = 4000,
+    sh_degree: int = 1,
+    seed: int | None = None,
+) -> GaussianModel:
+    """Generate the ground-truth Gaussian scene for a trace.
+
+    Parameters
+    ----------
+    name:
+        One of the 13 trace names in :data:`SCENE_SPECS`.
+    n_points:
+        Point budget for a complexity-1.0 trace; the actual count scales
+        with the trace's complexity multiplier.
+    sh_degree:
+        SH degree of the generated model (1 keeps tests fast; 3 matches
+        full 3DGS).
+    seed:
+        Optional explicit seed; defaults to a stable per-trace seed.
+    """
+    if name not in SCENE_SPECS:
+        raise KeyError(f"unknown trace {name!r}; valid traces: {sorted(SCENE_SPECS)}")
+    spec = SCENE_SPECS[name]
+    rng = np.random.default_rng(_seed_for(name) if seed is None else seed)
+    total = max(64, int(n_points * spec.complexity))
+
+    parts: list[GaussianModel] = []
+    palette = rng.uniform(0.15, 0.85, size=(6, 3))
+
+    if spec.indoor:
+        n_walls = total // 4
+        n_floor = total // 8
+        n_objects = total - n_walls - n_floor
+        # Floor (world +y is "down": cameras use an up vector of -y) and two
+        # vertical walls at the back (+z) and side (+x) of the room.
+        parts.append(
+            _plane(rng, n_floor, spec.extent, spec.extent * 0.5, palette[0], sh_degree, 1)
+        )
+        parts.append(
+            _plane(rng, n_walls // 2, spec.extent, spec.extent, palette[1], sh_degree, 2)
+        )
+        parts.append(
+            _plane(rng, n_walls - n_walls // 2, spec.extent, spec.extent, palette[1], sh_degree, 0)
+        )
+        n_clusters = 5
+    else:
+        n_ground = total // 4
+        n_shell = total // 10
+        n_objects = total - n_ground - n_shell
+        parts.append(
+            _plane(rng, n_ground, spec.extent, spec.extent * 0.35, palette[0], sh_degree, 1)
+        )
+        parts.append(_background_shell(rng, n_shell, spec.extent * 3.0, sh_degree))
+        n_clusters = 7
+
+    per_cluster = max(1, n_objects // n_clusters)
+    for i in range(n_clusters):
+        center = rng.uniform(-spec.extent * 0.45, spec.extent * 0.45, size=3)
+        center[1] = rng.uniform(-spec.extent * 0.1, spec.extent * 0.3)
+        spread = rng.uniform(0.2, 0.9, size=3) * (spec.extent / 5.0)
+        color = palette[2 + i % 4]
+        parts.append(
+            _cluster(rng, per_cluster, center, spread, (0.03, 0.12), color, sh_degree)
+        )
+
+    return GaussianModel.concatenate(parts)
+
+
+def scene_spec(name: str) -> SceneSpec:
+    """Look up a trace's static description."""
+    if name not in SCENE_SPECS:
+        raise KeyError(f"unknown trace {name!r}")
+    return SCENE_SPECS[name]
+
+
+def traces_for_dataset(dataset: str) -> list[str]:
+    """All trace names belonging to one of the three datasets."""
+    if dataset not in DATASETS:
+        raise KeyError(f"unknown dataset {dataset!r}; valid: {DATASETS}")
+    return [name for name, spec in SCENE_SPECS.items() if spec.dataset == dataset]

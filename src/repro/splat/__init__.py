@@ -1,0 +1,53 @@
+"""PBNR substrate: a pure-NumPy 3D Gaussian Splatting renderer.
+
+Implements the full Projection → Sorting → Rasterization pipeline the paper
+describes in Sec 2.1, including the statistics (tile–ellipse intersections,
+dominated pixels) that MetaSapiens' pruning and accelerator build on.
+"""
+
+from .camera import Camera
+from .gaussians import GaussianModel, inverse_sigmoid, random_model, sigmoid
+from .projection import ProjectedGaussians, project_gaussians
+from .rasterizer import (
+    RasterGradients,
+    RenderStats,
+    composite,
+    rasterize,
+    rasterize_backward,
+    splat_alphas,
+)
+from .renderer import RenderConfig, RenderResult, prepare_view, render, render_views
+from .sh import eval_sh, num_sh_coeffs, rgb_to_dc, sh_basis
+from .sorting import sort_cost_ops, sort_tile_splats
+from .tiling import DEFAULT_TILE_SIZE, TileAssignment, TileGrid, assign_tiles
+
+__all__ = [
+    "Camera",
+    "GaussianModel",
+    "ProjectedGaussians",
+    "RasterGradients",
+    "RenderConfig",
+    "RenderResult",
+    "RenderStats",
+    "TileAssignment",
+    "TileGrid",
+    "DEFAULT_TILE_SIZE",
+    "assign_tiles",
+    "composite",
+    "eval_sh",
+    "inverse_sigmoid",
+    "num_sh_coeffs",
+    "prepare_view",
+    "project_gaussians",
+    "random_model",
+    "rasterize",
+    "rasterize_backward",
+    "render",
+    "render_views",
+    "rgb_to_dc",
+    "sh_basis",
+    "sigmoid",
+    "sort_cost_ops",
+    "sort_tile_splats",
+    "splat_alphas",
+]

@@ -1,0 +1,178 @@
+"""Pinhole camera model with the display geometry needed for foveation.
+
+Beyond the usual world→camera→screen mapping, foveated rendering needs to
+know the *visual angle* of every pixel: in a VR headset the display spans the
+field of view directly, so the eccentricity of a pixel relative to the gaze
+point is the angle between the pixel's viewing ray and the gaze ray.
+:meth:`Camera.pixel_eccentricity` provides exactly that map.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Camera:
+    """A pinhole camera with a world-to-camera rigid transform.
+
+    Camera convention: +z looks forward, +x right, +y down (image rows grow
+    downward), matching the 3DGS rasterizer.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    world_to_cam_rotation: np.ndarray  # (3, 3)
+    world_to_cam_translation: np.ndarray  # (3,)
+    near: float = 0.05
+    far: float = 1000.0
+
+    def __post_init__(self) -> None:
+        rot = np.asarray(self.world_to_cam_rotation, dtype=np.float64)
+        trans = np.asarray(self.world_to_cam_translation, dtype=np.float64)
+        if rot.shape != (3, 3):
+            raise ValueError(f"rotation must be (3, 3), got {rot.shape}")
+        if trans.shape != (3,):
+            raise ValueError(f"translation must be (3,), got {trans.shape}")
+        object.__setattr__(self, "world_to_cam_rotation", rot)
+        object.__setattr__(self, "world_to_cam_translation", trans)
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal lengths must be positive")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_fov(
+        width: int,
+        height: int,
+        fov_x_deg: float,
+        position: np.ndarray,
+        look_at: np.ndarray,
+        up: np.ndarray | None = None,
+        near: float = 0.05,
+        far: float = 1000.0,
+    ) -> "Camera":
+        """Build a look-at camera from a horizontal field of view."""
+        position = np.asarray(position, dtype=np.float64)
+        look_at = np.asarray(look_at, dtype=np.float64)
+        up = np.asarray([0.0, -1.0, 0.0] if up is None else up, dtype=np.float64)
+
+        forward = look_at - position
+        norm = np.linalg.norm(forward)
+        if norm < 1e-12:
+            raise ValueError("camera position and look_at coincide")
+        forward = forward / norm
+        right = np.cross(up, forward)
+        right_norm = np.linalg.norm(right)
+        if right_norm < 1e-12:
+            # ``up`` parallel to viewing direction; pick an arbitrary right.
+            right = np.cross(np.array([1.0, 0.0, 0.0]), forward)
+            right_norm = np.linalg.norm(right)
+            if right_norm < 1e-12:
+                right = np.cross(np.array([0.0, 0.0, 1.0]), forward)
+                right_norm = np.linalg.norm(right)
+        right = right / right_norm
+        down = np.cross(forward, right)
+
+        rotation = np.stack([right, down, forward])  # rows: camera axes in world
+        translation = -rotation @ position
+
+        fov_x = np.deg2rad(fov_x_deg)
+        fx = (width / 2.0) / np.tan(fov_x / 2.0)
+        return Camera(
+            width=width,
+            height=height,
+            fx=fx,
+            fy=fx,
+            cx=width / 2.0,
+            cy=height / 2.0,
+            world_to_cam_rotation=rotation,
+            world_to_cam_translation=translation,
+            near=near,
+            far=far,
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> np.ndarray:
+        """Camera centre in world coordinates."""
+        return -self.world_to_cam_rotation.T @ self.world_to_cam_translation
+
+    @property
+    def fov_x_deg(self) -> float:
+        return float(np.rad2deg(2.0 * np.arctan(self.width / (2.0 * self.fx))))
+
+    @property
+    def fov_y_deg(self) -> float:
+        return float(np.rad2deg(2.0 * np.arctan(self.height / (2.0 * self.fy))))
+
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Transform ``(N, 3)`` world points into camera space."""
+        points = np.asarray(points, dtype=np.float64)
+        return points @ self.world_to_cam_rotation.T + self.world_to_cam_translation
+
+    def camera_to_screen(self, cam_points: np.ndarray) -> np.ndarray:
+        """Perspective-project camera-space points to pixel coordinates."""
+        cam_points = np.asarray(cam_points, dtype=np.float64)
+        z = cam_points[:, 2]
+        z_safe = np.where(np.abs(z) < 1e-9, 1e-9, z)
+        u = cam_points[:, 0] / z_safe * self.fx + self.cx
+        v = cam_points[:, 1] / z_safe * self.fy + self.cy
+        return np.stack([u, v], axis=1)
+
+    def project(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """World points → (pixel coordinates ``(N, 2)``, depths ``(N,)``)."""
+        cam = self.world_to_camera(points)
+        return self.camera_to_screen(cam), cam[:, 2]
+
+    def view_directions(self, points: np.ndarray) -> np.ndarray:
+        """Unit directions from the camera centre to each world point."""
+        diff = np.asarray(points, dtype=np.float64) - self.position
+        norms = np.linalg.norm(diff, axis=1, keepdims=True)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        return diff / norms
+
+    # ------------------------------------------------------------------
+    # Visual-angle geometry for foveation
+    # ------------------------------------------------------------------
+    def pixel_rays(self) -> np.ndarray:
+        """Camera-space unit viewing ray of every pixel, ``(H, W, 3)``."""
+        xs = (np.arange(self.width) + 0.5 - self.cx) / self.fx
+        ys = (np.arange(self.height) + 0.5 - self.cy) / self.fy
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        rays = np.stack([grid_x, grid_y, np.ones_like(grid_x)], axis=-1)
+        return rays / np.linalg.norm(rays, axis=-1, keepdims=True)
+
+    def pixel_eccentricity(self, gaze: tuple[float, float] | None = None) -> np.ndarray:
+        """Per-pixel eccentricity in degrees relative to a gaze point.
+
+        Parameters
+        ----------
+        gaze:
+            ``(x, y)`` pixel coordinates of the gaze; defaults to the image
+            centre (the principal point).
+        """
+        if gaze is None:
+            gaze = (self.cx, self.cy)
+        gx = (gaze[0] - self.cx) / self.fx
+        gy = (gaze[1] - self.cy) / self.fy
+        gaze_ray = np.array([gx, gy, 1.0])
+        gaze_ray = gaze_ray / np.linalg.norm(gaze_ray)
+        rays = self.pixel_rays()
+        cos_angle = np.clip(rays @ gaze_ray, -1.0, 1.0)
+        return np.rad2deg(np.arccos(cos_angle))
+
+    def degrees_per_pixel(self) -> float:
+        """Approximate visual angle subtended by one pixel at the centre."""
+        return float(np.rad2deg(np.arctan(1.0 / self.fx)))

@@ -1,0 +1,205 @@
+"""Projection stage of the PBNR pipeline (3D ellipsoids → 2D screen ellipses).
+
+Implements EWA splatting: the world-space covariance ``Σ`` of each Gaussian
+is pushed through the camera transform and the local affine approximation of
+the perspective projection, producing a 2D covariance ``Σ' = J W Σ Wᵀ Jᵀ``.
+The rasterizer consumes the *conic* (inverse 2D covariance) and a conservative
+screen-space radius (3σ of the major axis).
+
+Also implements the Mip-Splatting 3D smoothing filter (a per-point scale
+floor proportional to the sampling interval) as an optional projection knob;
+it is used by the ``mip-splatting`` baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .camera import Camera
+from .gaussians import GaussianModel
+from .sh import eval_sh
+
+# Low-pass dilation added to the 2D covariance (in pixels^2); matches the
+# +0.3 antialiasing dilation in the 3DGS reference rasterizer.
+SCREEN_DILATION = 0.3
+
+# Cut-off for the conservative splat radius: 3 standard deviations.
+RADIUS_SIGMAS = 3.0
+
+# Alpha below which a Gaussian is considered not to touch a pixel (1/255).
+ALPHA_EPS = 1.0 / 255.0
+
+# Frustum-culling margin (1.3x the viewing cone, as in 3DGS) and the minimum
+# depth at which points are rendered (3DGS uses 0.2).
+FRUSTUM_MARGIN = 1.3
+MIN_DEPTH = 0.2
+
+
+@dataclasses.dataclass
+class ProjectedGaussians:
+    """Screen-space splats, ready for tiling/sorting/rasterization.
+
+    All arrays are aligned: entry ``i`` describes the same visible splat.
+    ``point_ids`` maps each splat back to its index in the source model.
+    """
+
+    means2d: np.ndarray  # (M, 2) pixel coordinates
+    depths: np.ndarray  # (M,) camera-space z
+    conics: np.ndarray  # (M, 3) upper-triangular inverse covariance (a, b, c)
+    radii: np.ndarray  # (M,) conservative pixel radius
+    colors: np.ndarray  # (M, 3) SH-evaluated RGB for this view
+    opacities: np.ndarray  # (M,) base opacity in (0, 1)
+    point_ids: np.ndarray  # (M,) indices into the source model
+    cov2d: np.ndarray  # (M, 3) the (dilated) 2D covariance (a, b, c)
+
+    @property
+    def num_visible(self) -> int:
+        return self.means2d.shape[0]
+
+
+def compute_cov2d(
+    model: GaussianModel,
+    camera: Camera,
+    visible: np.ndarray,
+    smoothing_3d: float = 0.0,
+) -> np.ndarray:
+    """2D screen-space covariances for the ``visible`` subset, ``(M, 2, 2)``.
+
+    ``smoothing_3d`` > 0 enables the Mip-Splatting 3D filter: each Gaussian's
+    3D covariance receives an isotropic floor of ``(smoothing_3d * z / f)²``,
+    the world-space footprint of one pixel at the point's depth.
+    """
+    positions = model.positions[visible]
+    cam_points = camera.world_to_camera(positions)
+    z = cam_points[:, 2]
+
+    cov3d = model.covariances()[visible]
+    if smoothing_3d > 0.0:
+        pixel_world = smoothing_3d * z / camera.fx
+        floor = (pixel_world**2)[:, None, None] * np.eye(3)[None, :, :]
+        cov3d = cov3d + floor
+
+    # Jacobian of the perspective projection at each point (2x3).
+    x, y = cam_points[:, 0], cam_points[:, 1]
+    inv_z = 1.0 / z
+    m = visible.sum() if visible.dtype == bool else len(visible)
+    jac = np.zeros((m, 2, 3), dtype=np.float64)
+    jac[:, 0, 0] = camera.fx * inv_z
+    jac[:, 0, 2] = -camera.fx * x * inv_z**2
+    jac[:, 1, 1] = camera.fy * inv_z
+    jac[:, 1, 2] = -camera.fy * y * inv_z**2
+
+    rot = camera.world_to_cam_rotation
+    jw = jac @ rot[None, :, :]  # (M, 2, 3)
+    return jw @ cov3d @ jw.transpose(0, 2, 1)
+
+
+def project_gaussians(
+    model: GaussianModel,
+    camera: Camera,
+    smoothing_3d: float = 0.0,
+    opacity_override: np.ndarray | None = None,
+    color_override: np.ndarray | None = None,
+) -> ProjectedGaussians:
+    """Run the Projection stage: cull, splat, and shade all points.
+
+    Parameters
+    ----------
+    model:
+        Source Gaussian model.
+    camera:
+        Viewpoint.
+    smoothing_3d:
+        Mip-Splatting 3D smoothing filter strength (0 disables).
+    opacity_override / color_override:
+        Full-length ``(N,)`` / ``(N, 3)`` arrays replacing the model's own
+        opacity / RGB.  Used by the foveation pipeline, where opacity and
+        SH-DC are multi-versioned per quality level.
+    """
+    cam_points = camera.world_to_camera(model.positions)
+    z = cam_points[:, 2]
+    # Frustum culling with the standard 1.3x margin: points far outside the
+    # viewing cone would otherwise get near-singular projection Jacobians
+    # (x/z, y/z unbounded as z → 0) and degenerate, screen-filling splats.
+    z_safe = np.maximum(z, 1e-9)
+    tan_x = FRUSTUM_MARGIN * (camera.width / 2.0) / camera.fx
+    tan_y = FRUSTUM_MARGIN * (camera.height / 2.0) / camera.fy
+    visible = (
+        (z > max(camera.near, MIN_DEPTH))
+        & (z < camera.far)
+        & (np.abs(cam_points[:, 0] / z_safe) < tan_x)
+        & (np.abs(cam_points[:, 1] / z_safe) < tan_y)
+    )
+    visible_idx = np.flatnonzero(visible)
+
+    if visible_idx.size == 0:
+        empty2 = np.empty((0, 2))
+        empty3 = np.empty((0, 3))
+        empty = np.empty((0,))
+        return ProjectedGaussians(
+            means2d=empty2,
+            depths=empty,
+            conics=empty3,
+            radii=empty,
+            colors=empty3,
+            opacities=empty,
+            point_ids=np.empty((0,), dtype=np.int64),
+            cov2d=empty3,
+        )
+
+    cov2d = compute_cov2d(model, camera, visible_idx, smoothing_3d=smoothing_3d)
+    a = cov2d[:, 0, 0] + SCREEN_DILATION
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1] + SCREEN_DILATION
+
+    det = a * c - b * b
+    well_formed = det > 1e-12
+    inv_det = np.where(well_formed, 1.0 / np.maximum(det, 1e-12), 0.0)
+    conic_a = c * inv_det
+    conic_b = -b * inv_det
+    conic_c = a * inv_det
+
+    # Conservative radius: 3 sigma of the major eigenvalue.
+    mid = 0.5 * (a + c)
+    disc = np.sqrt(np.maximum(mid * mid - det, 1e-12))
+    lambda_max = mid + disc
+    radii = np.ceil(RADIUS_SIGMAS * np.sqrt(np.maximum(lambda_max, 0.0)))
+
+    means2d = camera.camera_to_screen(cam_points[visible_idx])
+
+    # Cull splats whose extent misses the image entirely.
+    on_screen = (
+        (means2d[:, 0] + radii > 0)
+        & (means2d[:, 0] - radii < camera.width)
+        & (means2d[:, 1] + radii > 0)
+        & (means2d[:, 1] - radii < camera.height)
+        & well_formed
+        & (radii > 0)
+    )
+
+    keep = np.flatnonzero(on_screen)
+    point_ids = visible_idx[keep]
+
+    if color_override is not None:
+        colors = np.asarray(color_override, dtype=np.float64)[point_ids]
+    else:
+        directions = camera.view_directions(model.positions[point_ids])
+        colors = eval_sh(model.sh[point_ids], directions)
+
+    if opacity_override is not None:
+        opacities = np.asarray(opacity_override, dtype=np.float64)[point_ids]
+    else:
+        opacities = model.opacities[point_ids]
+
+    return ProjectedGaussians(
+        means2d=means2d[keep],
+        depths=z[point_ids],
+        conics=np.stack([conic_a[keep], conic_b[keep], conic_c[keep]], axis=1),
+        radii=radii[keep],
+        colors=colors,
+        opacities=opacities,
+        point_ids=point_ids,
+        cov2d=np.stack([a[keep], b[keep], c[keep]], axis=1),
+    )

@@ -1,0 +1,293 @@
+"""Rasterization stage: tile-based alpha compositing (Eqn 1 of the paper).
+
+For every tile, the depth-sorted splats are composited front-to-back:
+
+    p = Σ_i T_i α_i c_i,   T_i = Π_{j<i} (1 − α_j)
+
+with early termination once transmittance drops below a threshold.
+
+This module additionally produces the two per-point statistics the paper's
+Computational Efficiency metric (Sec 3.2) is built on:
+
+- ``dominated_pixels`` (Val_i): for every pixel, the splat with the highest
+  numerical contribution ``T_i α_i`` dominates it; Val_i counts dominated
+  pixels per point.
+- tile usage (Comp_i) comes from the tiling stage
+  (:meth:`TileAssignment.tiles_per_splat`).
+
+It also implements the analytic backward pass used for re-training after
+pruning: gradients of an image-space loss w.r.t. per-point colour, opacity,
+and an isotropic log-scale offset (the exact knobs scale decay and selective
+multi-versioning train).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .projection import ALPHA_EPS, ProjectedGaussians
+from .sorting import per_pixel_depths
+from .tiling import TileAssignment, TileGrid
+
+# Transmittance threshold for early termination (matches 3DGS).
+TRANSMITTANCE_EPS = 1e-4
+# Per-splat alpha is clamped below this to keep (1 - alpha) > 0.
+ALPHA_CLAMP = 0.999
+
+
+@dataclasses.dataclass
+class RenderStats:
+    """Aggregate statistics of one rendered frame."""
+
+    intersections_per_tile: np.ndarray  # (T,)
+    tiles_per_point: np.ndarray  # (N,) Comp_i (bincount over model points)
+    dominated_pixels: np.ndarray  # (N,) Val_i
+    num_projected: int  # splats that survived culling
+    num_points: int  # model size
+
+    @property
+    def total_intersections(self) -> int:
+        return int(self.intersections_per_tile.sum())
+
+    @property
+    def mean_intersections_per_tile(self) -> float:
+        if self.intersections_per_tile.size == 0:
+            return 0.0
+        return float(self.intersections_per_tile.mean())
+
+
+def tile_pixel_centers(grid: TileGrid, tile_id: int) -> np.ndarray:
+    """Pixel-centre coordinates of a tile, ``(P, 2)`` (row-major order)."""
+    x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+    xs = np.arange(x0, x1) + 0.5
+    ys = np.arange(y0, y1) + 0.5
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    return np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+
+
+def splat_alphas(
+    projected: ProjectedGaussians,
+    splat_indices: np.ndarray,
+    pixel_centers: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(splat, pixel) alpha matrix ``(S, P)`` and the quadratic form.
+
+    Alphas below ``ALPHA_EPS`` are zeroed (the rasterizer's intersect test)
+    and clamped at ``ALPHA_CLAMP`` above.
+    """
+    means = projected.means2d[splat_indices]
+    conics = projected.conics[splat_indices]
+    opacities = projected.opacities[splat_indices]
+
+    delta = pixel_centers[None, :, :] - means[:, None, :]  # (S, P, 2)
+    quad = (
+        conics[:, None, 0] * delta[:, :, 0] ** 2
+        + 2.0 * conics[:, None, 1] * delta[:, :, 0] * delta[:, :, 1]
+        + conics[:, None, 2] * delta[:, :, 1] ** 2
+    )
+    quad = np.maximum(quad, 0.0)
+    alphas = opacities[:, None] * np.exp(-0.5 * quad)
+    alphas = np.where(alphas < ALPHA_EPS, 0.0, np.minimum(alphas, ALPHA_CLAMP))
+    return alphas, quad
+
+
+def composite(
+    alphas: np.ndarray,
+    colors: np.ndarray,
+    background: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Front-to-back compositing of an ``(S, P)`` alpha matrix.
+
+    Returns ``(pixel_colors (P, 3), weights (S, P), final_transmittance (P,))``
+    where ``weights[i, p] = T_i α_i`` after early termination.
+    """
+    s, p = alphas.shape
+    if s == 0:
+        bg = np.broadcast_to(background, (p, 3)).copy()
+        return bg, np.zeros((0, p)), np.ones(p)
+
+    one_minus = 1.0 - alphas
+    trans_incl = np.cumprod(one_minus, axis=0)
+    trans_excl = np.vstack([np.ones((1, p)), trans_incl[:-1]])
+    active = trans_excl >= TRANSMITTANCE_EPS
+    weights = trans_excl * alphas * active
+
+    final_trans = np.where(
+        active[-1], trans_incl[-1], np.maximum(trans_excl[-1] * one_minus[-1], 0.0)
+    )
+    # Early-terminated pixels keep the transmittance they had when they
+    # stopped, which is below the threshold — visually negligible; treat the
+    # leftover as zero contribution to the background.
+    final_trans = np.where(active[-1], final_trans, 0.0)
+
+    pixel_colors = weights.T @ colors + final_trans[:, None] * background[None, :]
+    return pixel_colors, weights, final_trans
+
+
+def _per_pixel_reorder(
+    projected: ProjectedGaussians,
+    splat_indices: np.ndarray,
+    pixel_centers: np.ndarray,
+    alphas: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """StopThePop variant: per-pixel depth order for the alpha matrix.
+
+    Returns the reordered alphas and the per-pixel permutation ``(S, P)``.
+    """
+    depths = per_pixel_depths(projected, splat_indices, pixel_centers)
+    order = np.argsort(depths, axis=0, kind="stable")
+    return np.take_along_axis(alphas, order, axis=0), order
+
+
+def rasterize(
+    projected: ProjectedGaussians,
+    assignment: TileAssignment,
+    num_points: int,
+    background: np.ndarray | None = None,
+    collect_stats: bool = True,
+    per_pixel_sort: bool = False,
+) -> tuple[np.ndarray, RenderStats | None]:
+    """Rasterize all tiles into an ``(H, W, 3)`` image.
+
+    ``assignment`` must already be depth-sorted (see
+    :func:`repro.splat.sorting.sort_tile_splats`).
+    """
+    grid = assignment.grid
+    if background is None:
+        background = np.zeros(3)
+    background = np.asarray(background, dtype=np.float64)
+
+    image = np.empty((grid.height, grid.width, 3), dtype=np.float64)
+    dominated = np.zeros(num_points, dtype=np.int64)
+
+    for tile_id in range(grid.num_tiles):
+        splat_idx = assignment.splats_in_tile(tile_id)
+        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+        pixels = tile_pixel_centers(grid, tile_id)
+
+        alphas, _ = splat_alphas(projected, splat_idx, pixels)
+        order = None
+        if per_pixel_sort and splat_idx.size:
+            alphas, order = _per_pixel_reorder(projected, splat_idx, pixels, alphas)
+
+        colors = projected.colors[splat_idx]
+        if order is not None:
+            # Colours must follow the per-pixel permutation: composite each
+            # pixel column with its own ordering.
+            pixel_colors = np.empty((pixels.shape[0], 3))
+            weights_max = np.zeros((splat_idx.size, pixels.shape[0]))
+            for p in range(pixels.shape[0]):
+                col_alphas = alphas[:, p : p + 1]
+                col_colors = colors[order[:, p]]
+                pc, w, _ = composite(col_alphas, col_colors, background)
+                pixel_colors[p] = pc[0]
+                weights_max[order[:, p], p] = w[:, 0]
+            weights = weights_max
+        else:
+            pixel_colors, weights, _ = composite(alphas, colors, background)
+
+        image[y0:y1, x0:x1] = pixel_colors.reshape(y1 - y0, x1 - x0, 3)
+
+        if collect_stats and splat_idx.size:
+            winners = np.argmax(weights, axis=0)
+            has_any = weights.max(axis=0) > 0.0
+            winner_points = projected.point_ids[splat_idx[winners[has_any]]]
+            np.add.at(dominated, winner_points, 1)
+
+    stats = None
+    if collect_stats:
+        tiles_per_splat = assignment.tiles_per_splat(projected.num_visible)
+        tiles_per_point = np.zeros(num_points, dtype=np.int64)
+        np.add.at(tiles_per_point, projected.point_ids, tiles_per_splat)
+        stats = RenderStats(
+            intersections_per_tile=assignment.intersections_per_tile(),
+            tiles_per_point=tiles_per_point,
+            dominated_pixels=dominated,
+            num_projected=projected.num_visible,
+            num_points=num_points,
+        )
+    return np.clip(image, 0.0, 1.0), stats
+
+
+@dataclasses.dataclass
+class RasterGradients:
+    """Gradients of an image loss w.r.t. per-point render parameters.
+
+    All arrays are indexed by model point id (length N).  ``log_scale`` is
+    the gradient w.r.t. an isotropic log-scale offset ``u`` applied to the
+    point's 3D covariance (``Σ → e^{2u} Σ``), the knob scale decay trains.
+    """
+
+    color: np.ndarray  # (N, 3)
+    opacity: np.ndarray  # (N,)
+    log_scale: np.ndarray  # (N,)
+
+
+def rasterize_backward(
+    projected: ProjectedGaussians,
+    assignment: TileAssignment,
+    num_points: int,
+    grad_image: np.ndarray,
+    background: np.ndarray | None = None,
+) -> RasterGradients:
+    """Backward pass: propagate ``dL/dimage`` to per-point parameters.
+
+    Derivation (per pixel, sorted splats ``i``):
+
+        p = Σ_i T_i α_i c_i + T_N · bg
+        dL/dc_i = T_i α_i · g
+        dL/dα_i = T_i (g·c_i) − S_i / (1 − α_i)
+
+    where ``g = dL/dp`` and ``S_i = Σ_{j>i} T_j α_j (g·c_j) + T_N (g·bg)`` is
+    the suffix contribution, computed with a reverse cumulative sum.  The
+    alpha then chains into opacity (``α = o e^{−q/2}``) and into the isotropic
+    log-scale offset (``dq/du = −2q``, ignoring the constant screen dilation).
+    """
+    grid = assignment.grid
+    if background is None:
+        background = np.zeros(3)
+    background = np.asarray(background, dtype=np.float64)
+
+    grad_color = np.zeros((num_points, 3))
+    grad_opacity = np.zeros(num_points)
+    grad_log_scale = np.zeros(num_points)
+
+    for tile_id in range(grid.num_tiles):
+        splat_idx = assignment.splats_in_tile(tile_id)
+        if splat_idx.size == 0:
+            continue
+        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+        pixels = tile_pixel_centers(grid, tile_id)
+        g = grad_image[y0:y1, x0:x1].reshape(-1, 3)  # (P, 3)
+
+        alphas, quad = splat_alphas(projected, splat_idx, pixels)
+        one_minus = 1.0 - alphas
+        trans_incl = np.cumprod(one_minus, axis=0)
+        trans_excl = np.vstack([np.ones((1, pixels.shape[0])), trans_incl[:-1]])
+        active = trans_excl >= TRANSMITTANCE_EPS
+        weights = trans_excl * alphas * active
+        final_trans = np.where(active[-1], trans_incl[-1], 0.0)
+
+        colors = projected.colors[splat_idx]  # (S, 3)
+        gc = colors @ g.T  # (S, P): g·c_i per pixel
+        contrib = weights * gc  # (S, P): T_i α_i (g·c_i)
+
+        # Suffix sums S_i = Σ_{j>i} contrib_j + T_N (g·bg).
+        bg_term = final_trans * (g @ background)  # (P,)
+        suffix = np.cumsum(contrib[::-1], axis=0)[::-1]
+        suffix_after = np.vstack([suffix[1:], np.zeros((1, pixels.shape[0]))])
+        suffix_after = suffix_after + bg_term[None, :]
+
+        grad_alpha = trans_excl * gc - suffix_after / np.maximum(one_minus, 1e-6)
+        grad_alpha = grad_alpha * active * (alphas > 0.0) * (alphas < ALPHA_CLAMP)
+
+        # dα/do = e^{-q/2}; dα/du = α·q (since dq/du = -2q, dα/dq = -α/2).
+        exp_term = np.exp(-0.5 * quad)
+        pids = projected.point_ids[splat_idx]
+        np.add.at(grad_color, pids, weights @ g)
+        np.add.at(grad_opacity, pids, (grad_alpha * exp_term).sum(axis=1))
+        np.add.at(grad_log_scale, pids, (grad_alpha * alphas * quad).sum(axis=1))
+
+    return RasterGradients(color=grad_color, opacity=grad_opacity, log_scale=grad_log_scale)

@@ -1,0 +1,140 @@
+"""Real spherical harmonics used for view-dependent colour in PBNR.
+
+3DGS parameterizes per-point colour with real spherical harmonics (SH) up to
+degree 3.  The degree-0 ("DC") component carries most of the colour energy;
+MetaSapiens' selective multi-versioning keeps a per-level copy of exactly the
+DC component (plus opacity) and shares the higher-order coefficients.
+
+Coefficients are stored as ``(N, K, 3)`` arrays where ``K = (degree + 1)**2``;
+index 0 is the DC term and indices ``1..K-1`` are the "rest" coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Real SH normalization constants, following the 3DGS reference implementation.
+SH_C0 = 0.28209479177387814
+SH_C1 = 0.4886025119029199
+SH_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+SH_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+MAX_SH_DEGREE = 3
+
+
+def num_sh_coeffs(degree: int) -> int:
+    """Number of SH basis functions for ``degree`` (inclusive)."""
+    if not 0 <= degree <= MAX_SH_DEGREE:
+        raise ValueError(f"SH degree must be in [0, {MAX_SH_DEGREE}], got {degree}")
+    return (degree + 1) ** 2
+
+
+def sh_basis(directions: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate the real SH basis for unit ``directions``.
+
+    Parameters
+    ----------
+    directions:
+        ``(N, 3)`` array of (not necessarily normalized) view directions.
+    degree:
+        Maximum SH degree, 0..3.
+
+    Returns
+    -------
+    ``(N, K)`` basis matrix with ``K = (degree + 1)**2``.
+    """
+    directions = np.asarray(directions, dtype=np.float64)
+    if directions.ndim != 2 or directions.shape[1] != 3:
+        raise ValueError(f"directions must be (N, 3), got {directions.shape}")
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms = np.where(norms == 0.0, 1.0, norms)
+    d = directions / norms
+    x, y, z = d[:, 0], d[:, 1], d[:, 2]
+
+    n = directions.shape[0]
+    basis = np.empty((n, num_sh_coeffs(degree)), dtype=np.float64)
+    basis[:, 0] = SH_C0
+    if degree >= 1:
+        basis[:, 1] = -SH_C1 * y
+        basis[:, 2] = SH_C1 * z
+        basis[:, 3] = -SH_C1 * x
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 4] = SH_C2[0] * xy
+        basis[:, 5] = SH_C2[1] * yz
+        basis[:, 6] = SH_C2[2] * (2.0 * zz - xx - yy)
+        basis[:, 7] = SH_C2[3] * xz
+        basis[:, 8] = SH_C2[4] * (xx - yy)
+    if degree >= 3:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 9] = SH_C3[0] * y * (3.0 * xx - yy)
+        basis[:, 10] = SH_C3[1] * xy * z
+        basis[:, 11] = SH_C3[2] * y * (4.0 * zz - xx - yy)
+        basis[:, 12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+        basis[:, 13] = SH_C3[4] * x * (4.0 * zz - xx - yy)
+        basis[:, 14] = SH_C3[5] * z * (xx - yy)
+        basis[:, 15] = SH_C3[6] * x * (xx - 3.0 * yy)
+    return basis
+
+
+def eval_sh(coeffs: np.ndarray, directions: np.ndarray, degree: int | None = None) -> np.ndarray:
+    """Evaluate SH colour for each point along its view direction.
+
+    Follows the 3DGS convention: the evaluated polynomial is offset by +0.5
+    and clamped at zero, so a coefficient vector of zeros yields mid-grey.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(N, K, 3)`` SH coefficients.
+    directions:
+        ``(N, 3)`` directions from the camera centre to each point.
+    degree:
+        Degree to evaluate at; defaults to the full degree implied by ``K``.
+
+    Returns
+    -------
+    ``(N, 3)`` non-negative RGB colours.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.ndim != 3 or coeffs.shape[2] != 3:
+        raise ValueError(f"coeffs must be (N, K, 3), got {coeffs.shape}")
+    full_degree = int(np.sqrt(coeffs.shape[1])) - 1
+    if (full_degree + 1) ** 2 != coeffs.shape[1]:
+        raise ValueError(f"K={coeffs.shape[1]} is not a valid SH coefficient count")
+    if degree is None:
+        degree = full_degree
+    if degree > full_degree:
+        raise ValueError(f"requested degree {degree} exceeds stored degree {full_degree}")
+    k = num_sh_coeffs(degree)
+    basis = sh_basis(directions, degree)  # (N, k)
+    rgb = np.einsum("nk,nkc->nc", basis, coeffs[:, :k, :]) + 0.5
+    return np.clip(rgb, 0.0, None)
+
+
+def rgb_to_dc(rgb: np.ndarray) -> np.ndarray:
+    """Convert a target RGB colour into the DC SH coefficient producing it."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    return (rgb - 0.5) / SH_C0
+
+
+def dc_to_rgb(dc: np.ndarray) -> np.ndarray:
+    """Colour produced by a DC coefficient alone (degree-0 evaluation)."""
+    dc = np.asarray(dc, dtype=np.float64)
+    return np.clip(dc * SH_C0 + 0.5, 0.0, None)

@@ -1,0 +1,23 @@
+"""Simulated 2IFC user study (paper Sec 6 / Fig 11)."""
+
+from .observer import ObserverModel, StimulusQuality, simulate_2ifc_votes
+from .user_study import (
+    PAPER_NUM_PARTICIPANTS,
+    PAPER_NUM_REPETITIONS,
+    PAPER_STUDY_SCENES,
+    SceneVotes,
+    UserStudyResult,
+    run_user_study,
+)
+
+__all__ = [
+    "ObserverModel",
+    "PAPER_NUM_PARTICIPANTS",
+    "PAPER_NUM_REPETITIONS",
+    "PAPER_STUDY_SCENES",
+    "SceneVotes",
+    "StimulusQuality",
+    "UserStudyResult",
+    "run_user_study",
+    "simulate_2ifc_votes",
+]

@@ -1,0 +1,77 @@
+"""Simulated psychophysical observer for 2IFC preference studies.
+
+The paper's user study (Sec 6/7.1) shows each participant two renderings of
+the same trace on a headset and asks which they prefer.  We model the
+generative process behind such data:
+
+- each rendering has an *internal quality* score: the negative HVSQ (pooled
+  feature-statistics distance to the reference under the current gaze) minus
+  a temporal-instability penalty (the paper's participants noticed
+  "incorrect luminance changes over time" caused by inconsistently trained
+  points in dense models — our baseline models carry a measured
+  ``flicker_fraction`` for exactly this effect);
+- a participant's choice follows a logistic psychometric function of the
+  internal quality difference, with per-participant bias and per-trial
+  decision noise.
+
+With HVSQ differences near zero (our method's training goal), the model
+predicts ~50/50 votes with a tilt toward the less flickery method — which is
+what the paper's Fig 11 shows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class StimulusQuality:
+    """Perceptual summary of one method's rendering of one trace."""
+
+    name: str
+    hvsq: float  # eccentricity-aware quality distance (lower = better)
+    flicker: float  # temporal luminance instability in [0, 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class ObserverModel:
+    """Psychometric parameters of the simulated participant pool."""
+
+    hvsq_sensitivity: float = 2.0e5  # scales HVSQ differences to decision units
+    flicker_sensitivity: float = 10.0  # scales flicker differences
+    decision_noise: float = 1.0  # logistic slope (higher = noisier)
+    participant_bias_sd: float = 0.2
+
+    def internal_quality(self, stimulus: StimulusQuality) -> float:
+        return (
+            -self.hvsq_sensitivity * stimulus.hvsq
+            - self.flicker_sensitivity * stimulus.flicker
+        )
+
+    def preference_probability(
+        self, a: StimulusQuality, b: StimulusQuality, bias: float = 0.0
+    ) -> float:
+        """P(participant prefers A over B) via a logistic psychometric fn."""
+        delta = self.internal_quality(a) - self.internal_quality(b) + bias
+        z = np.clip(delta / self.decision_noise, -50.0, 50.0)
+        return float(1.0 / (1.0 + np.exp(-z)))
+
+
+def simulate_2ifc_votes(
+    a: StimulusQuality,
+    b: StimulusQuality,
+    n_participants: int,
+    n_repetitions: int,
+    rng: np.random.Generator,
+    observer: ObserverModel | None = None,
+) -> np.ndarray:
+    """Votes for A per participant, ``(n_participants,)`` in [0, n_reps]."""
+    observer = observer or ObserverModel()
+    votes = np.empty(n_participants, dtype=np.int64)
+    for p in range(n_participants):
+        bias = rng.normal(scale=observer.participant_bias_sd)
+        prob = observer.preference_probability(a, b, bias=bias)
+        votes[p] = rng.binomial(n_repetitions, prob)
+    return votes

@@ -1,0 +1,95 @@
+"""The 2IFC user-study harness and its statistics (Fig 11).
+
+Protocol, mirroring Sec 6: 12 participants, four traces (bicycle, room,
+drjohnson, truck), each pair shown 8 times in randomized order; the
+participant picks the preferred version.  The statistical claim is a
+binomial test against the null hypothesis "users prefer the *baseline*
+(Mini-Splatting-D) more than 50% of the time" — rejecting it (p < 0.01)
+establishes that our method is subjectively no worse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .observer import ObserverModel, StimulusQuality, simulate_2ifc_votes
+
+PAPER_STUDY_SCENES = ("room", "drjohnson", "truck", "bicycle")
+PAPER_NUM_PARTICIPANTS = 12
+PAPER_NUM_REPETITIONS = 8
+
+
+@dataclasses.dataclass
+class SceneVotes:
+    """Per-scene outcome: votes for each method, per participant."""
+
+    scene: str
+    votes_ours: np.ndarray  # (P,) times ours was preferred, out of reps
+    n_repetitions: int
+
+    @property
+    def votes_baseline(self) -> np.ndarray:
+        return self.n_repetitions - self.votes_ours
+
+    @property
+    def mean_ours(self) -> float:
+        return float(self.votes_ours.mean())
+
+    @property
+    def mean_baseline(self) -> float:
+        return float(self.votes_baseline.mean())
+
+    @property
+    def std_ours(self) -> float:
+        return float(self.votes_ours.std())
+
+
+@dataclasses.dataclass
+class UserStudyResult:
+    """Full study outcome and the headline binomial test."""
+
+    scenes: list[SceneVotes]
+    p_value: float  # binomial test vs "baseline preferred > 50%"
+
+    @property
+    def total_ours(self) -> int:
+        return int(sum(v.votes_ours.sum() for v in self.scenes))
+
+    @property
+    def total_trials(self) -> int:
+        return int(sum(v.votes_ours.size * v.n_repetitions for v in self.scenes))
+
+    @property
+    def ours_preference_rate(self) -> float:
+        return self.total_ours / self.total_trials if self.total_trials else float("nan")
+
+
+def run_user_study(
+    stimuli: dict[str, tuple[StimulusQuality, StimulusQuality]],
+    n_participants: int = PAPER_NUM_PARTICIPANTS,
+    n_repetitions: int = PAPER_NUM_REPETITIONS,
+    observer: ObserverModel | None = None,
+    seed: int = 0,
+) -> UserStudyResult:
+    """Simulate the full 2IFC study.
+
+    ``stimuli`` maps scene name → (ours, baseline) perceptual summaries.
+    """
+    rng = np.random.default_rng(seed)
+    scenes = []
+    for scene, (ours, baseline) in stimuli.items():
+        votes = simulate_2ifc_votes(
+            ours, baseline, n_participants, n_repetitions, rng, observer
+        )
+        scenes.append(SceneVotes(scene=scene, votes_ours=votes, n_repetitions=n_repetitions))
+
+    total_ours = int(sum(v.votes_ours.sum() for v in scenes))
+    total = int(sum(v.votes_ours.size * v.n_repetitions for v in scenes))
+    # Null hypothesis: baseline is preferred more than half the time, i.e.
+    # ours preferred with probability < 0.5.  Reject if ours' vote count is
+    # improbably high under p = 0.5.
+    test = scipy_stats.binomtest(total_ours, total, p=0.5, alternative="greater")
+    return UserStudyResult(scenes=scenes, p_value=float(test.pvalue))

@@ -1,0 +1,16 @@
+"""Re-training substrate: losses, Adam, and the fine-tuning loop."""
+
+from .losses import image_loss, l1_loss, l2_loss
+from .optimizer import Adam
+from .trainer import Regularizer, TrainConfig, TrainResult, finetune
+
+__all__ = [
+    "Adam",
+    "Regularizer",
+    "TrainConfig",
+    "TrainResult",
+    "finetune",
+    "image_loss",
+    "l1_loss",
+    "l2_loss",
+]

@@ -1,0 +1,42 @@
+"""Image-space losses and their gradients for model re-training.
+
+The iterative procedure of Fig 6 re-trains a pruned model with a composite
+loss ``L = L_quality + γ·WS`` (Eqn 6).  We provide L_quality as an L1 /
+L2-mixture image loss (3DGS itself uses L1 + D-SSIM; the L2 component makes
+the analytic gradient exact and cheap) together with its gradient w.r.t. the
+rendered image, which the rasterizer's backward pass consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def l1_loss(rendered: np.ndarray, target: np.ndarray) -> float:
+    return float(np.mean(np.abs(rendered - target)))
+
+
+def l2_loss(rendered: np.ndarray, target: np.ndarray) -> float:
+    return float(np.mean((rendered - target) ** 2))
+
+
+def image_loss(
+    rendered: np.ndarray,
+    target: np.ndarray,
+    l1_weight: float = 0.8,
+) -> tuple[float, np.ndarray]:
+    """Mixed L1/L2 photometric loss and its gradient w.r.t. ``rendered``.
+
+    Returns ``(loss, dL/drendered)`` with the gradient shaped like the image.
+    """
+    rendered = np.asarray(rendered, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if rendered.shape != target.shape:
+        raise ValueError(f"shape mismatch: {rendered.shape} vs {target.shape}")
+    diff = rendered - target
+    n = diff.size
+    loss = l1_weight * float(np.mean(np.abs(diff))) + (1.0 - l1_weight) * float(
+        np.mean(diff**2)
+    )
+    grad = (l1_weight * np.sign(diff) + (1.0 - l1_weight) * 2.0 * diff) / n
+    return loss, grad

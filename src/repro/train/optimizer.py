@@ -1,0 +1,56 @@
+"""A small Adam optimizer over named NumPy parameter arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam with per-parameter-group learning rates.
+
+    Parameters are identified by name; ``step`` applies one update given a
+    dict of gradients (missing names are skipped, so sparse updates work).
+    """
+
+    def __init__(
+        self,
+        learning_rates: dict[str, float],
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.learning_rates = dict(learning_rates)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        self._t += 1
+        for name, grad in grads.items():
+            if name not in params:
+                raise KeyError(f"gradient for unknown parameter {name!r}")
+            lr = self.learning_rates.get(name)
+            if lr is None or lr == 0.0:
+                continue
+            grad = np.asarray(grad, dtype=np.float64)
+            if name not in self._m:
+                self._m[name] = np.zeros_like(grad)
+                self._v[name] = np.zeros_like(grad)
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            params[name] -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t = 0

@@ -1,0 +1,75 @@
+"""Shared fixtures: a small deterministic scene, cameras, and renders.
+
+Session-scoped where safe (fixtures hand out copies of mutable objects) so
+the full suite stays fast despite the pure-Python renderer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenes import generate_scene, trace_cameras
+from repro.splat import Camera, GaussianModel, random_model, render
+from repro.splat.renderer import prepare_view
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_scene() -> GaussianModel:
+    """A small but non-trivial ground-truth scene (kitchen, ~700 points)."""
+    return generate_scene("kitchen", n_points=600)
+
+
+@pytest.fixture(scope="session")
+def small_cameras() -> tuple[list[Camera], list[Camera]]:
+    return trace_cameras("kitchen", n_train=4, n_eval=2, width=96, height=64)
+
+
+@pytest.fixture(scope="session")
+def train_cameras(small_cameras):
+    return small_cameras[0]
+
+
+@pytest.fixture(scope="session")
+def eval_cameras(small_cameras):
+    return small_cameras[1]
+
+
+@pytest.fixture(scope="session")
+def train_targets(small_scene, train_cameras):
+    return [render(small_scene, c).image for c in train_cameras]
+
+
+@pytest.fixture(scope="session")
+def rendered(small_scene, train_cameras):
+    """One full RenderResult with stats."""
+    return render(small_scene, train_cameras[0])
+
+
+@pytest.fixture(scope="session")
+def prepared_view(small_scene, train_cameras):
+    """(projected, assignment) for the first training view."""
+    return prepare_view(small_scene, train_cameras[0])
+
+
+@pytest.fixture()
+def tiny_model() -> GaussianModel:
+    """A fresh 40-point random model (mutable; function-scoped)."""
+    return random_model(40, np.random.default_rng(7), extent=2.0)
+
+
+@pytest.fixture()
+def front_camera() -> Camera:
+    """Camera at the origin looking down +z."""
+    return Camera.from_fov(
+        width=64,
+        height=48,
+        fov_x_deg=60.0,
+        position=np.array([0.0, 0.0, -5.0]),
+        look_at=np.array([0.0, 0.0, 0.0]),
+    )

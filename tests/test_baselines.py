@@ -1,0 +1,114 @@
+"""The seven comparison baselines: structure, ordering, quality ladder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    FIG3_BASELINES,
+    build_baseline,
+    build_baselines,
+    lightgs_scores,
+)
+from repro.hvs.metrics import psnr
+from repro.splat import render
+
+
+@pytest.fixture(scope="module")
+def all_baselines(small_scene, train_cameras):
+    return build_baselines(small_scene, train_cameras, seed=0)
+
+
+class TestRegistry:
+    def test_all_seven_built(self, all_baselines):
+        assert set(all_baselines) == set(ALL_BASELINES)
+
+    def test_fig3_subset(self):
+        assert set(FIG3_BASELINES) <= set(ALL_BASELINES)
+
+    def test_unknown_name_rejected(self, small_scene, train_cameras):
+        with pytest.raises(KeyError):
+            build_baseline("GaussianPro", small_scene, train_cameras)
+
+    def test_names_match(self, all_baselines):
+        for name, baseline in all_baselines.items():
+            assert baseline.name == name
+
+
+class TestDenseModels:
+    def test_dense_models_bigger_than_scene(self, all_baselines, small_scene):
+        for name in ("3DGS", "Mini-Splatting-D", "Mip-Splatting", "StopThePop"):
+            assert all_baselines[name].model.num_points > small_scene.num_points
+            assert all_baselines[name].dense
+
+    def test_3dgs_has_flicker(self, all_baselines):
+        assert all_baselines["3DGS"].flicker_fraction > all_baselines[
+            "Mini-Splatting-D"
+        ].flicker_fraction
+
+    def test_mip_splatting_uses_smoothing(self, all_baselines):
+        assert all_baselines["Mip-Splatting"].render_config.smoothing_3d > 0
+
+    def test_stopthepop_uses_per_pixel_sort(self, all_baselines):
+        assert all_baselines["StopThePop"].render_config.per_pixel_sort
+
+    def test_msd_quality_beats_3dgs(
+        self, all_baselines, small_scene, train_cameras, train_targets
+    ):
+        """Mini-Splatting-D is the paper's quality reference."""
+
+        def quality(b):
+            values = [
+                psnr(t, render(b.model, c, b.render_config).image)
+                for c, t in zip(train_cameras[:2], train_targets[:2])
+            ]
+            return np.mean(values)
+
+        assert quality(all_baselines["Mini-Splatting-D"]) > quality(all_baselines["3DGS"])
+
+
+class TestPrunedModels:
+    def test_pruned_smaller_than_parents(self, all_baselines):
+        assert (
+            all_baselines["LightGS"].model.num_points
+            < all_baselines["3DGS"].model.num_points
+        )
+        assert (
+            all_baselines["CompactGS"].model.num_points
+            < all_baselines["3DGS"].model.num_points
+        )
+        assert (
+            all_baselines["Mini-Splatting"].model.num_points
+            < all_baselines["Mini-Splatting-D"].model.num_points
+        )
+
+    def test_pruned_flag(self, all_baselines):
+        for name in ("LightGS", "CompactGS", "Mini-Splatting"):
+            assert not all_baselines[name].dense
+
+    def test_pruned_models_render_faster(self, all_baselines, train_cameras):
+        """Fig 3's point: pruning reduces intersections (hence latency)."""
+        dense_ints = render(
+            all_baselines["3DGS"].model, train_cameras[0]
+        ).stats.total_intersections
+        pruned_ints = render(
+            all_baselines["LightGS"].model, train_cameras[0]
+        ).stats.total_intersections
+        assert pruned_ints < dense_ints
+
+    def test_lightgs_scores_positive_for_used_points(
+        self, all_baselines, train_cameras
+    ):
+        scores = lightgs_scores(all_baselines["3DGS"].model, train_cameras[:2])
+        assert scores.shape == (all_baselines["3DGS"].model.num_points,)
+        assert (scores > 0).any()
+
+    def test_compactgs_keeps_high_opacity(self, all_baselines):
+        kept_opacity = all_baselines["CompactGS"].model.opacities.min()
+        parent_opacity = all_baselines["3DGS"].model.opacities.min()
+        assert kept_opacity > parent_opacity
+
+    def test_determinism(self, small_scene, train_cameras):
+        a = build_baseline("Mini-Splatting", small_scene, train_cameras, seed=5)
+        b = build_baseline("Mini-Splatting", small_scene, train_cameras, seed=5)
+        assert np.array_equal(a.model.positions, b.model.positions)

@@ -1,0 +1,107 @@
+"""Camera model: look-at construction, projection, visual-angle geometry."""
+
+import numpy as np
+import pytest
+
+from repro.splat.camera import Camera
+
+
+@pytest.fixture()
+def cam():
+    return Camera.from_fov(
+        width=128,
+        height=96,
+        fov_x_deg=90.0,
+        position=np.array([0.0, 0.0, -4.0]),
+        look_at=np.zeros(3),
+    )
+
+
+class TestConstruction:
+    def test_position_round_trip(self, cam):
+        assert np.allclose(cam.position, [0.0, 0.0, -4.0])
+
+    def test_fov_round_trip(self, cam):
+        assert cam.fov_x_deg == pytest.approx(90.0)
+
+    def test_rotation_is_orthonormal(self, cam):
+        rot = cam.world_to_cam_rotation
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+    def test_look_at_point_is_on_axis(self, cam):
+        screen, depth = cam.project(np.zeros((1, 3)))
+        assert depth[0] == pytest.approx(4.0)
+        assert screen[0, 0] == pytest.approx(cam.cx)
+        assert screen[0, 1] == pytest.approx(cam.cy)
+
+    def test_coincident_position_target_rejected(self):
+        with pytest.raises(ValueError):
+            Camera.from_fov(64, 48, 60.0, np.zeros(3), np.zeros(3))
+
+    def test_degenerate_up_vector_handled(self):
+        # up parallel to the viewing direction must not crash.
+        cam = Camera.from_fov(
+            64, 48, 60.0, np.array([0.0, -3.0, 0.0]), np.zeros(3),
+            up=np.array([0.0, -1.0, 0.0]),
+        )
+        assert np.all(np.isfinite(cam.world_to_cam_rotation))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Camera(
+                width=0, height=48, fx=10, fy=10, cx=0, cy=0,
+                world_to_cam_rotation=np.eye(3),
+                world_to_cam_translation=np.zeros(3),
+            )
+
+
+class TestProjection:
+    def test_right_of_center_projects_right(self, cam):
+        # +x (camera right) must land at larger pixel u.
+        right_world = cam.world_to_cam_rotation[0]
+        screen, _ = cam.project((right_world * 1.0 + np.array([0.0, 0.0, 0.0]))[None])
+        assert screen[0, 0] > cam.cx
+
+    def test_projection_scales_with_depth(self, cam):
+        p_near = np.array([[1.0, 0.0, -2.0]])
+        p_far = np.array([[1.0, 0.0, 2.0]])
+        s_near, d_near = cam.project(p_near)
+        s_far, d_far = cam.project(p_far)
+        assert d_far[0] > d_near[0]
+        assert abs(s_far[0, 0] - cam.cx) < abs(s_near[0, 0] - cam.cx)
+
+    def test_view_directions_unit(self, cam):
+        points = np.random.default_rng(0).normal(size=(40, 3)) * 5
+        dirs = cam.view_directions(points)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+
+class TestVisualAngle:
+    def test_pixel_rays_unit(self, cam):
+        rays = cam.pixel_rays()
+        assert rays.shape == (96, 128, 3)
+        assert np.allclose(np.linalg.norm(rays, axis=-1), 1.0)
+
+    def test_eccentricity_zero_at_gaze(self, cam):
+        ecc = cam.pixel_eccentricity()
+        cy, cx = int(cam.cy), int(cam.cx)
+        # Minimum sits at the principal point (within half-pixel accuracy).
+        assert ecc[cy, cx] < cam.degrees_per_pixel()
+
+    def test_eccentricity_increases_toward_corner(self, cam):
+        ecc = cam.pixel_eccentricity()
+        assert ecc[0, 0] > ecc[48, 64]
+        # Corner of a 90-degree-FOV image is ~48 degrees off-axis.
+        assert 40.0 < ecc[0, 0] < 56.0
+
+    def test_gaze_shifts_eccentricity(self, cam):
+        gaze = (20.0, 20.0)
+        ecc = cam.pixel_eccentricity(gaze)
+        assert ecc[20, 20] < 1.5
+        assert ecc[20, 20] < ecc[90, 120]
+
+    def test_degrees_per_pixel_matches_fov(self, cam):
+        # Central pixels subtend the largest angle; for a 90-degree FOV the
+        # flat-projection overestimate (deg/px × width) is ~27% above fov.
+        approx_fov = cam.degrees_per_pixel() * cam.width
+        assert cam.fov_x_deg < approx_fov < 1.35 * cam.fov_x_deg

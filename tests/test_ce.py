@@ -1,0 +1,65 @@
+"""Computational Efficiency metric (Eqn 3) and its aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ce import compute_ce, frame_ce
+from repro.splat import render
+
+
+class TestFrameCE:
+    def test_unused_points_zero(self):
+        ce = frame_ce(np.array([0, 5, 0]), np.array([0, 10, 3]))
+        assert ce[0] == 0.0
+        assert ce[2] == 0.0
+
+    def test_ratio(self):
+        ce = frame_ce(np.array([8]), np.array([4]))
+        assert ce[0] == pytest.approx(2.0)
+
+    def test_high_cost_low_value_penalized(self):
+        # Same contribution, different tile cost → lower CE for costly point.
+        ce = frame_ce(np.array([10, 10]), np.array([2, 20]))
+        assert ce[0] > ce[1]
+
+
+class TestComputeCE:
+    def test_shapes_and_nonnegative(self, small_scene, train_cameras):
+        result = compute_ce(small_scene, train_cameras)
+        assert result.ce.shape == (small_scene.num_points,)
+        assert np.all(result.ce >= 0)
+
+    def test_max_dominates_mean(self, small_scene, train_cameras):
+        max_agg = compute_ce(small_scene, train_cameras, aggregate="max")
+        mean_agg = compute_ce(small_scene, train_cameras, aggregate="mean")
+        assert np.all(max_agg.ce >= mean_agg.ce - 1e-12)
+
+    def test_out_of_frustum_points_get_zero(self, small_scene, train_cameras):
+        model = small_scene.copy()
+        # Send the first 5 points far underground, outside every view.
+        model.positions[:5] = [0.0, 1e5, 0.0]
+        result = compute_ce(model, train_cameras)
+        assert np.all(result.ce[:5] == 0.0)
+
+    def test_requires_cameras(self, small_scene):
+        with pytest.raises(ValueError):
+            compute_ce(small_scene, [])
+
+    def test_invalid_aggregate_rejected(self, small_scene, train_cameras):
+        with pytest.raises(ValueError):
+            compute_ce(small_scene, train_cameras[:1], aggregate="median")
+
+    def test_intersections_tracked(self, small_scene, train_cameras):
+        result = compute_ce(small_scene, train_cameras[:1])
+        rendered = render(small_scene, train_cameras[0])
+        assert result.total_intersections == pytest.approx(
+            rendered.stats.total_intersections
+        )
+
+    def test_dominant_points_have_high_ce(self, small_scene, train_cameras):
+        result = compute_ce(small_scene, train_cameras)
+        # Points that dominate at least one pixel somewhere must beat the
+        # never-dominant points on average.
+        dominant = result.max_val > 0
+        assert dominant.any() and (~dominant).any()
+        assert result.ce[dominant].mean() > result.ce[~dominant].mean()

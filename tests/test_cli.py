@@ -1,0 +1,60 @@
+"""CLI subcommands: parsing and end-to-end execution."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["render", "garden"])
+        assert args.trace == "garden"
+        assert args.points == 1000
+        assert args.width == 128
+
+    def test_prune_fraction_flag(self):
+        args = build_parser().parse_args(["prune", "room", "--fraction", "0.3"])
+        assert args.fraction == 0.3
+
+
+class TestCommands:
+    def test_traces(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "bicycle" in out and "deepblending" in out
+
+    def test_render(self, capsys):
+        code = main(["render", "bonsai", "--points", "200", "--width", "64",
+                     "--height", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tile intersections" in out and "FPS" in out
+
+    def test_prune(self, capsys):
+        code = main(["prune", "bonsai", "--points", "200", "--width", "64",
+                     "--height", "48", "--fraction", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dense" in out and "pruned" in out
+
+    def test_foveate(self, capsys):
+        code = main(["foveate", "bonsai", "--points", "200", "--width", "64",
+                     "--height", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FR speedup" in out
+
+    def test_accel(self, capsys):
+        code = main(["accel", "bonsai", "--points", "200", "--width", "64",
+                     "--height", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MetaSapiens-TM-IP" in out and "GSCore" in out

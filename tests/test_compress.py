@@ -1,0 +1,104 @@
+"""SH vector quantization: codebook training, round trips, storage."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    CompressedModel,
+    VQCodebook,
+    compress_model,
+    quantization_error,
+    train_codebook,
+)
+from repro.hvs.metrics import psnr
+from repro.scenes import generate_scene, trace_cameras
+from repro.splat import render
+
+
+class TestCodebook:
+    def test_assign_returns_nearest(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        book = VQCodebook(centers=centers)
+        idx = book.assign(np.array([[0.1, -0.1], [9.0, 11.0]]))
+        assert list(idx) == [0, 1]
+
+    def test_decode_round_trip(self):
+        centers = np.random.default_rng(0).normal(size=(8, 5))
+        book = VQCodebook(centers=centers)
+        idx = np.array([3, 0, 7])
+        assert np.allclose(book.decode(idx), centers[idx])
+
+    def test_training_reduces_error(self):
+        rng = np.random.default_rng(1)
+        # Three well-separated clusters.
+        data = np.concatenate([
+            rng.normal(loc=c, scale=0.1, size=(50, 4)) for c in (-3.0, 0.0, 3.0)
+        ])
+        book = train_codebook(data, num_codes=3, iterations=15, seed=0)
+        err = np.mean(np.sum((data - book.decode(book.assign(data))) ** 2, axis=1))
+        assert err < 0.2
+
+    def test_more_codes_less_error(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(200, 6))
+        err = []
+        for k in (2, 16, 64):
+            book = train_codebook(data, num_codes=k, iterations=8, seed=0)
+            err.append(
+                np.mean(np.sum((data - book.decode(book.assign(data))) ** 2, axis=1))
+            )
+        assert err[0] > err[1] > err[2]
+
+    def test_codes_capped_at_data_size(self):
+        data = np.random.default_rng(3).normal(size=(5, 3))
+        book = train_codebook(data, num_codes=100)
+        assert book.num_codes == 5
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            train_codebook(np.zeros((0, 3)), num_codes=4)
+
+
+class TestCompressModel:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return generate_scene("garden", n_points=300, sh_degree=2)
+
+    def test_compression_ratio_above_one(self, scene):
+        compressed = compress_model(scene, num_codes=64)
+        assert compressed.compression_ratio() > 1.5
+
+    def test_dc_preserved_exactly(self, scene):
+        compressed = compress_model(scene, num_codes=32)
+        restored = compressed.decompress()
+        assert np.allclose(restored.sh[:, 0, :], scene.sh[:, 0, :])
+        assert np.allclose(restored.positions, scene.positions)
+        assert np.allclose(restored.opacity_logits, scene.opacity_logits)
+
+    def test_quantization_error_decreases_with_codes(self, scene):
+        err_small = quantization_error(scene, compress_model(scene, num_codes=4))
+        err_large = quantization_error(scene, compress_model(scene, num_codes=128))
+        assert err_large < err_small
+
+    def test_degree0_lossless(self):
+        scene = generate_scene("room", n_points=100, sh_degree=0)
+        compressed = compress_model(scene)
+        assert quantization_error(scene, compressed) == 0.0
+        restored = compressed.decompress()
+        assert np.allclose(restored.sh, scene.sh)
+
+    def test_render_quality_survives_compression(self, scene):
+        """The headline claim: VQ barely moves rendered quality."""
+        train, _ = trace_cameras("garden", n_train=4, width=64, height=48)
+        target = render(scene, train[0]).image
+        restored = compress_model(scene, num_codes=128, iterations=8).decompress()
+        image = render(restored, train[0]).image
+        assert psnr(target, image) > 30.0
+
+    def test_storage_accounting(self, scene):
+        compressed = compress_model(scene, num_codes=64)
+        # Storage = kept params + codebook + 2-byte indices.
+        kept = scene.num_points * (3 + 3 + 4 + 1 + 3) * 4
+        codebook = compressed.codebook.centers.size * 4
+        indices = scene.num_points * 2
+        assert compressed.storage_bytes() == kept + codebook + indices

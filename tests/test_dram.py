@@ -1,0 +1,90 @@
+"""DRAM model: bandwidth arithmetic, traffic composition, bound reporting."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    DEFAULT_DRAM,
+    DRAMModel,
+    METASAPIENS_BASE,
+    bound_latency_ms,
+    dram_time_ms,
+    frame_traffic,
+    is_memory_bound,
+    run_accelerator,
+)
+from repro.perf import FrameWorkload
+
+
+@pytest.fixture()
+def workload():
+    return FrameWorkload(
+        num_projected=1000,
+        projection_runs=1,
+        sort_ops=5e4,
+        raster_splat_pixels=5000 * 256,
+        blend_pixels=500,
+    )
+
+
+class TestDRAMModel:
+    def test_peak_bandwidth(self):
+        # 4 channels × 1600 MT/s × 4 B = 25.6 GB/s (paper's LPDDR3-1600 x4).
+        assert DEFAULT_DRAM.peak_gb_s == pytest.approx(25.6)
+
+    def test_utilization_derates(self):
+        ideal = DRAMModel(utilization=1.0)
+        real = DRAMModel(utilization=0.5)
+        assert real.effective_bytes_per_us == pytest.approx(
+            0.5 * ideal.effective_bytes_per_us
+        )
+
+
+class TestTraffic:
+    def test_components_positive(self, workload):
+        traffic = frame_traffic(workload, METASAPIENS_BASE)
+        assert traffic.parameter_read > 0
+        assert traffic.intersection_spill > 0
+        assert traffic.framebuffer_write > 0
+        assert traffic.total_bytes == pytest.approx(
+            traffic.parameter_read
+            + traffic.intersection_spill
+            + traffic.framebuffer_write
+        )
+
+    def test_mmfr_reads_parameters_per_level(self, workload):
+        mmfr = dataclasses.replace(workload, projection_runs=4)
+        t1 = frame_traffic(workload, METASAPIENS_BASE)
+        t4 = frame_traffic(mmfr, METASAPIENS_BASE)
+        assert t4.parameter_read == pytest.approx(4 * t1.parameter_read)
+
+    def test_time_scales_inverse_bandwidth(self, workload):
+        fast = DRAMModel(channels=8)
+        slow = DRAMModel(channels=2)
+        assert dram_time_ms(workload, METASAPIENS_BASE, slow) == pytest.approx(
+            4 * dram_time_ms(workload, METASAPIENS_BASE, fast)
+        )
+
+
+class TestBound:
+    def test_is_memory_bound_threshold(self, workload):
+        t = dram_time_ms(workload, METASAPIENS_BASE)
+        assert is_memory_bound(t / 2, workload, METASAPIENS_BASE)
+        assert not is_memory_bound(t * 2, workload, METASAPIENS_BASE)
+
+    def test_bound_latency_is_max(self, workload):
+        t = dram_time_ms(workload, METASAPIENS_BASE)
+        assert bound_latency_ms(t / 2, workload, METASAPIENS_BASE) == pytest.approx(t)
+        assert bound_latency_ms(t * 3, workload, METASAPIENS_BASE) == pytest.approx(3 * t)
+
+    def test_run_reports_but_does_not_apply_by_default(self, workload):
+        ints = np.full(20, 250.0)
+        default = run_accelerator(ints, workload, METASAPIENS_BASE)
+        bounded = run_accelerator(ints, workload, METASAPIENS_BASE, include_dram=True)
+        assert default.latency_ms == pytest.approx(default.compute_ms)
+        assert bounded.latency_ms >= default.latency_ms
+        assert bounded.latency_ms == pytest.approx(
+            max(default.compute_ms, default.dram_ms)
+        )

@@ -1,0 +1,94 @@
+"""SMFR / MMFR baselines and their storage accounting (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.foveation import (
+    RegionLayout,
+    make_mmfr,
+    make_smfr,
+    mmfr_storage_bytes,
+    smfr_storage_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0))
+
+
+class TestSMFR:
+    def test_random_subsetting_deterministic(self, small_scene, layout):
+        a = make_smfr(small_scene, layout, seed=3)
+        b = make_smfr(small_scene, layout, seed=3)
+        assert np.array_equal(a.quality_bounds, b.quality_bounds)
+
+    def test_different_seed_different_subset(self, small_scene, layout):
+        a = make_smfr(small_scene, layout, seed=1)
+        b = make_smfr(small_scene, layout, seed=2)
+        assert not np.array_equal(a.quality_bounds, b.quality_bounds)
+
+    def test_no_multiversion_divergence(self, small_scene, layout):
+        sm = make_smfr(small_scene, layout)
+        for level in range(1, 5):
+            assert np.allclose(sm.level_opacity_logits(level), sm.base.opacity_logits)
+
+    def test_storage_is_single_model(self, small_scene, layout):
+        sm = make_smfr(small_scene, layout)
+        assert smfr_storage_bytes(sm) <= small_scene.storage_bytes() * 1.02
+
+
+class TestMMFR:
+    @pytest.fixture(scope="class")
+    def models(self, small_scene, train_cameras, train_targets, layout):
+        return make_mmfr(
+            small_scene, train_cameras[:2], train_targets[:2], layout,
+            level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=1,
+        )
+
+    def test_one_model_per_level(self, models, layout):
+        assert len(models) == layout.num_levels
+
+    def test_level_sizes_match_fractions(self, models, small_scene):
+        n = small_scene.num_points
+        sizes = [m.num_points for m in models]
+        assert sizes[0] == n
+        assert sizes[1] == pytest.approx(0.5 * n, abs=1)
+        assert sizes[3] == pytest.approx(0.1 * n, abs=1)
+
+    def test_storage_is_sum_of_models(self, models):
+        total = mmfr_storage_bytes(models)
+        assert total == sum(m.storage_bytes() for m in models)
+        # ≈ 1.85x the single-model storage for these fractions.
+        assert total > 1.5 * models[0].storage_bytes()
+
+    def test_wrong_fraction_count_rejected(self, small_scene, train_cameras, train_targets, layout):
+        with pytest.raises(ValueError):
+            make_mmfr(
+                small_scene, train_cameras[:1], train_targets[:1], layout,
+                level_fractions=(1.0, 0.5),
+            )
+
+
+class TestStorageComparison:
+    def test_paper_ordering(self, small_scene, train_cameras, train_targets, layout):
+        """Table 1: SMFR (1x) < ours (~1.06x) << MMFR (~1.9x)."""
+        sm = make_smfr(small_scene, layout)
+        mm = make_mmfr(
+            small_scene, train_cameras[:1], train_targets[:1], layout,
+            level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=0,
+        )
+        from repro.foveation import build_foveated_model, FRTrainConfig
+
+        ours = build_foveated_model(
+            small_scene, train_cameras[:1], train_targets[:1], layout,
+            FRTrainConfig(level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=0),
+            finetune=False,
+        ).model
+
+        smfr_b = smfr_storage_bytes(sm)
+        ours_b = ours.storage_bytes()
+        mmfr_b = mmfr_storage_bytes(mm)
+        assert smfr_b < ours_b < mmfr_b
+        assert ours_b / smfr_b < 1.2
+        assert mmfr_b / smfr_b > 1.5

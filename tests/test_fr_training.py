@@ -1,0 +1,112 @@
+"""HVS-guided foveated level training (Sec 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.foveation import (
+    FRTrainConfig,
+    RegionLayout,
+    build_foveated_model,
+    finetune_level,
+    measure_level_hvsq,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0))
+
+
+@pytest.fixture(scope="module")
+def trained(small_scene, train_cameras, train_targets, layout):
+    config = FRTrainConfig(
+        level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=3
+    )
+    return build_foveated_model(
+        small_scene, train_cameras[:2], train_targets[:2], layout, config
+    )
+
+
+class TestBuild:
+    def test_subset_chain_holds(self, trained):
+        fm = trained.model
+        for level in range(2, 5):
+            assert np.all(fm.level_mask(level - 1)[fm.level_mask(level)])
+
+    def test_level_budgets(self, trained, small_scene):
+        counts = trained.level_counts
+        n = small_scene.num_points
+        assert counts[0] == n
+        assert counts[1] == pytest.approx(0.5 * n, abs=1)
+        assert counts[3] == pytest.approx(0.1 * n, abs=1)
+
+    def test_hvsq_reported_per_level(self, trained):
+        assert len(trained.hvsq_per_level) == 4
+        assert all(np.isfinite(v) and v >= 0 for v in trained.hvsq_per_level)
+
+    def test_wrong_fraction_count_rejected(self, small_scene, train_cameras, train_targets, layout):
+        with pytest.raises(ValueError):
+            build_foveated_model(
+                small_scene,
+                train_cameras[:1],
+                train_targets[:1],
+                layout,
+                FRTrainConfig(level_fractions=(1.0, 0.5)),
+            )
+
+    def test_ce_keeps_useful_points(self, trained, small_scene, train_cameras):
+        """Deeper levels must preferentially keep points that dominate
+        pixels (high CE), not a random subset."""
+        from repro.core.ce import compute_ce
+
+        ce = compute_ce(small_scene, train_cameras[:2])
+        fm = trained.model
+        deep = fm.quality_bounds >= 3
+        shallow = fm.quality_bounds == 1
+        assert ce.ce[deep].mean() > ce.ce[shallow].mean()
+
+
+class TestFinetuneLevel:
+    def test_improves_region_quality(self, small_scene, train_cameras, train_targets, layout):
+        config = FRTrainConfig(level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=0)
+        result = build_foveated_model(
+            small_scene, train_cameras[:2], train_targets[:2], layout, config,
+            finetune=False,
+        )
+        fm = result.model
+        level = 3
+        before = measure_level_hvsq(fm, level, train_cameras[:2], train_targets[:2])
+        finetune_level(
+            fm, level, train_cameras[:2], train_targets[:2],
+            FRTrainConfig(level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=6),
+        )
+        after = measure_level_hvsq(fm, level, train_cameras[:2], train_targets[:2])
+        assert after <= before * 1.05  # never substantially worse, usually better
+
+    def test_only_target_level_versions_touched(
+        self, small_scene, train_cameras, train_targets, layout
+    ):
+        config = FRTrainConfig(level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=0)
+        fm = build_foveated_model(
+            small_scene, train_cameras[:1], train_targets[:1], layout, config,
+            finetune=False,
+        ).model
+        before_l2 = fm.mv_opacity_logits[:, 1].copy()
+        before_l4 = fm.mv_opacity_logits[:, 3].copy()
+        finetune_level(
+            fm, 4, train_cameras[:1], train_targets[:1],
+            FRTrainConfig(level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=2),
+        )
+        assert np.array_equal(fm.mv_opacity_logits[:, 1], before_l2)
+        assert not np.array_equal(fm.mv_opacity_logits[:, 3], before_l4)
+
+    def test_base_parameters_never_touched(
+        self, small_scene, train_cameras, train_targets, layout
+    ):
+        config = FRTrainConfig(level_fractions=(1.0, 0.5, 0.25, 0.1), finetune_iterations=2)
+        base_before = small_scene.copy()
+        build_foveated_model(
+            small_scene, train_cameras[:1], train_targets[:1], layout, config
+        )
+        assert np.array_equal(small_scene.log_scales, base_before.log_scales)
+        assert np.array_equal(small_scene.positions, base_before.positions)

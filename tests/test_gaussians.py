@@ -1,0 +1,167 @@
+"""GaussianModel: validation, derived quantities, structure ops, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.splat.gaussians import (
+    GaussianModel,
+    inverse_sigmoid,
+    normalize_quaternions,
+    quaternions_to_matrices,
+    random_model,
+    sigmoid,
+)
+
+
+@pytest.fixture()
+def model():
+    return random_model(25, np.random.default_rng(0))
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        n = 4
+        good = dict(
+            positions=np.zeros((n, 3)),
+            log_scales=np.zeros((n, 3)),
+            rotations=np.tile([1.0, 0, 0, 0], (n, 1)),
+            opacity_logits=np.zeros(n),
+            sh=np.zeros((n, 1, 3)),
+        )
+        GaussianModel(**good)  # must not raise
+        for field, bad in [
+            ("positions", np.zeros((n, 2))),
+            ("log_scales", np.zeros((n + 1, 3))),
+            ("rotations", np.zeros((n, 3))),
+            ("opacity_logits", np.zeros((n, 1))),
+            ("sh", np.zeros((n, 3))),
+        ]:
+            kwargs = dict(good)
+            kwargs[field] = bad
+            with pytest.raises(ValueError):
+                GaussianModel(**kwargs)
+
+    def test_invalid_sh_count_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianModel(
+                positions=np.zeros((2, 3)),
+                log_scales=np.zeros((2, 3)),
+                rotations=np.tile([1.0, 0, 0, 0], (2, 1)),
+                opacity_logits=np.zeros(2),
+                sh=np.zeros((2, 5, 3)),
+            )
+
+
+class TestDerived:
+    def test_scales_positive(self, model):
+        assert np.all(model.scales > 0)
+
+    def test_opacities_in_unit_interval(self, model):
+        assert np.all((model.opacities > 0) & (model.opacities < 1))
+
+    def test_max_scales_matches_scales(self, model):
+        assert np.allclose(model.max_scales, model.scales.max(axis=1))
+
+    def test_sh_dc_view_is_writable(self, model):
+        model.sh_dc[0, :] = 3.0
+        assert np.all(model.sh[0, 0, :] == 3.0)
+
+    def test_covariances_symmetric_psd(self, model):
+        cov = model.covariances()
+        assert np.allclose(cov, cov.transpose(0, 2, 1))
+        eigvals = np.linalg.eigvalsh(cov)
+        assert np.all(eigvals > -1e-12)
+
+    def test_covariance_eigenvalues_are_squared_scales(self):
+        # Axis-aligned case: identity rotation.
+        model = GaussianModel(
+            positions=np.zeros((1, 3)),
+            log_scales=np.log([[0.5, 1.0, 2.0]]),
+            rotations=np.array([[1.0, 0, 0, 0]]),
+            opacity_logits=np.zeros(1),
+            sh=np.zeros((1, 1, 3)),
+        )
+        cov = model.covariances()[0]
+        assert np.allclose(np.sort(np.diag(cov)), [0.25, 1.0, 4.0])
+
+    def test_storage_bytes(self, model):
+        per_point = (3 + 3 + 4 + 1 + model.sh.shape[1] * 3) * 4
+        assert model.storage_bytes() == model.num_points * per_point
+
+
+class TestStructure:
+    def test_copy_is_independent(self, model):
+        clone = model.copy()
+        clone.positions[0, 0] += 100.0
+        assert model.positions[0, 0] != clone.positions[0, 0]
+
+    def test_subset_by_mask(self, model):
+        mask = model.opacities > np.median(model.opacities)
+        sub = model.subset(mask)
+        assert sub.num_points == int(mask.sum())
+        assert np.allclose(sub.positions, model.positions[mask])
+
+    def test_subset_by_indices_preserves_order(self, model):
+        idx = np.array([5, 2, 9])
+        sub = model.subset(idx)
+        assert np.allclose(sub.positions, model.positions[idx])
+
+    def test_concatenate_counts(self, model):
+        other = random_model(10, np.random.default_rng(1))
+        combined = GaussianModel.concatenate([model, other])
+        assert combined.num_points == model.num_points + other.num_points
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianModel.concatenate([])
+
+
+class TestSerialization:
+    def test_npz_round_trip(self, model):
+        restored = GaussianModel.from_npz_bytes(model.to_npz_bytes())
+        assert restored.num_points == model.num_points
+        assert np.allclose(restored.positions, model.positions, atol=1e-5)
+        assert np.allclose(restored.sh, model.sh, atol=1e-5)
+
+    def test_save_load(self, model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        restored = GaussianModel.load(path)
+        assert np.allclose(restored.opacity_logits, model.opacity_logits, atol=1e-5)
+
+
+class TestQuaternionHelpers:
+    def test_normalize_unit_norm(self):
+        quats = np.random.default_rng(2).normal(size=(30, 4))
+        norms = np.linalg.norm(normalize_quaternions(quats), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_zero_quaternion_survives(self):
+        out = normalize_quaternions(np.zeros((1, 4)))
+        assert np.all(np.isfinite(out))
+
+    def test_matrices_are_rotations(self):
+        quats = normalize_quaternions(np.random.default_rng(3).normal(size=(20, 4)))
+        mats = quaternions_to_matrices(quats)
+        eye = mats @ mats.transpose(0, 2, 1)
+        assert np.allclose(eye, np.eye(3), atol=1e-10)
+        assert np.allclose(np.linalg.det(mats), 1.0)
+
+    def test_identity_quaternion(self):
+        mat = quaternions_to_matrices(np.array([[1.0, 0, 0, 0]]))[0]
+        assert np.allclose(mat, np.eye(3))
+
+
+class TestSigmoid:
+    def test_matches_reference(self):
+        x = np.linspace(-20, 20, 101)
+        assert np.allclose(sigmoid(x), 1.0 / (1.0 + np.exp(-x)))
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] < 1e-10 and out[1] > 1 - 1e-10
+
+    def test_inverse_round_trip(self):
+        p = np.linspace(0.01, 0.99, 50)
+        assert np.allclose(sigmoid(inverse_sigmoid(p)), p)

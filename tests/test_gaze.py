@@ -1,0 +1,80 @@
+"""Gaze dynamics: scanpath structure and its effect on FR workload."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import GazeModel, gaze_trajectory, saccade_frames
+
+
+class TestTrajectory:
+    def test_shape_and_bounds(self):
+        gaze = gaze_trajectory(128, 96, 300, seed=0)
+        assert gaze.shape == (300, 2)
+        assert np.all(gaze[:, 0] >= 0) and np.all(gaze[:, 0] <= 127)
+        assert np.all(gaze[:, 1] >= 0) and np.all(gaze[:, 1] <= 95)
+
+    def test_deterministic(self):
+        a = gaze_trajectory(128, 96, 100, seed=4)
+        b = gaze_trajectory(128, 96, 100, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = gaze_trajectory(128, 96, 100, seed=1)
+        b = gaze_trajectory(128, 96, 100, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_contains_fixations_and_saccades(self):
+        gaze = gaze_trajectory(128, 96, 900, fps=90.0, seed=0)
+        steps = np.linalg.norm(np.diff(gaze, axis=0), axis=1)
+        # Most frames drift slowly; some frames jump far.
+        assert np.median(steps) < 2.0
+        assert steps.max() > 10.0
+
+    def test_fixation_duration_respected(self):
+        model = GazeModel(fixation_mean_s=1.0, fixation_min_s=0.8)
+        gaze = gaze_trajectory(128, 96, 450, fps=90.0, model=model, seed=0)
+        sacc = saccade_frames(gaze)
+        # Long fixations → few saccade frames.
+        assert sacc.mean() < 0.2
+
+    def test_single_frame(self):
+        gaze = gaze_trajectory(64, 48, 1)
+        assert gaze.shape == (1, 2)
+
+
+class TestSaccadeDetection:
+    def test_static_gaze_no_saccades(self):
+        gaze = np.tile([32.0, 24.0], (50, 1))
+        assert saccade_frames(gaze).sum() == 0
+
+    def test_jump_detected(self):
+        gaze = np.tile([32.0, 24.0], (10, 1))
+        gaze[5] = [100.0, 80.0]
+        sacc = saccade_frames(gaze, threshold_px=4.0)
+        assert sacc[5]
+
+    def test_short_input(self):
+        assert saccade_frames(np.zeros((1, 2))).sum() == 0
+
+
+class TestGazeDrivenWorkload:
+    def test_workload_follows_gaze(self, small_scene, train_cameras):
+        """Moving the gaze moves the heavy (foveal) tiles."""
+        from repro.foveation import RegionLayout, make_smfr, render_foveated
+
+        layout = RegionLayout(boundaries_deg=(0.0, 10.0, 18.0, 26.0))
+        fm = make_smfr(small_scene, layout, level_fractions=(1.0, 0.4, 0.2, 0.1))
+        cam = train_cameras[0]
+        gaze_pts = gaze_trajectory(cam.width, cam.height, 60, seed=3)
+        sacc = saccade_frames(gaze_pts)
+        levels = []
+        # Sample a few fixation frames far apart.
+        frames = [5, 30, 55]
+        for f in frames:
+            result = render_foveated(fm, cam, gaze=tuple(gaze_pts[f]))
+            levels.append(result.stats.tile_levels.copy())
+        assert any(
+            not np.array_equal(levels[i], levels[j])
+            for i in range(len(frames))
+            for j in range(i + 1, len(frames))
+        ) or sacc.sum() == 0

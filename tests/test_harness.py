@@ -1,0 +1,57 @@
+"""The high-level experiment harness."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import build_baselines
+from repro.harness import quick_l1_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return repro.setup_trace(
+        "bonsai", n_points=500, width=96, height=64, n_train=3, n_eval=2
+    )
+
+
+class TestSetupTrace:
+    def test_fields(self, setup):
+        assert setup.scene.num_points > 0
+        assert len(setup.train_cameras) == 3
+        assert len(setup.eval_cameras) == 2
+        assert len(setup.train_targets) == 3
+        assert setup.train_targets[0].shape == (64, 96, 3)
+
+    def test_targets_are_ground_truth(self, setup):
+        from repro.splat import render
+
+        img = render(setup.scene, setup.train_cameras[0]).image
+        assert np.array_equal(img, setup.train_targets[0])
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def dense(self, setup):
+        return build_baselines(setup.scene, setup.train_cameras, names=("3DGS",))["3DGS"]
+
+    def test_measure_baseline(self, setup, dense):
+        m = repro.measure_baseline(dense, setup)
+        assert m.fps > 0
+        assert np.isfinite(m.psnr)
+        assert -1 <= m.ssim <= 1
+        assert m.lpips >= 0
+
+    def test_quick_l1_prunes(self, setup, dense):
+        l1 = quick_l1_model(setup, dense, keep_fraction=0.4)
+        assert l1.num_points == int(dense.model.num_points * 0.4)
+
+    def test_build_and_measure_metasapiens(self, setup):
+        models = repro.build_metasapiens(
+            setup, variant="L", prune_rounds=2, finetune_iterations=1
+        )
+        assert models.variant.model.num_points <= setup.scene.num_points * 2
+        assert models.foveated.num_levels == 4
+        m = repro.measure_foveated("MetaSapiens-L", models.foveated, setup)
+        assert m.fps > 0
+        assert m.workload.projection_runs == 1

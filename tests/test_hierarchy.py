@@ -1,0 +1,125 @@
+"""Hierarchical subset representation + selective multi-versioning."""
+
+import numpy as np
+import pytest
+
+from repro.foveation.hierarchy import FoveatedModel, uniform_foveated_model
+from repro.foveation.regions import RegionLayout
+from repro.splat import random_model
+
+
+@pytest.fixture()
+def layout():
+    return RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0))
+
+
+@pytest.fixture()
+def fmodel(layout):
+    base = random_model(100, np.random.default_rng(0))
+    return uniform_foveated_model(base, layout, level_fractions=(1.0, 0.5, 0.25, 0.1))
+
+
+class TestSubsetting:
+    def test_strict_subset_chain(self, fmodel):
+        """The paper's key invariant: L4 ⊂ L3 ⊂ L2 ⊂ L1."""
+        for level in range(2, fmodel.num_levels + 1):
+            inner = fmodel.level_mask(level)
+            outer = fmodel.level_mask(level - 1)
+            assert np.all(outer[inner])  # every inner point is in outer
+
+    def test_level_one_uses_all_points(self, fmodel):
+        assert fmodel.level_point_count(1) == fmodel.num_points
+
+    def test_level_counts_match_fractions(self, fmodel):
+        counts = fmodel.level_counts()
+        assert list(counts) == [100, 50, 25, 10]
+
+    def test_total_storage_equals_l1_not_sum(self, fmodel):
+        """P_total = max_i P_i = P_1 (Sec 4.2) — storage is the base model
+        plus only the small multi-version extras, not N models."""
+        base_bytes = fmodel.base.storage_bytes()
+        sum_of_levels = sum(
+            fmodel.level_model(t).storage_bytes() for t in range(1, 5)
+        )
+        assert fmodel.storage_bytes() < 1.2 * base_bytes
+        assert fmodel.storage_bytes() < sum_of_levels
+
+    def test_multiversion_overhead_small(self, fmodel):
+        # Expected overhead: points with bound m store (m-1) extra copies of
+        # the 4 multi-versioned scalars plus a 1-byte bound.  For degree-1 SH
+        # (23 scalars/point) and these fractions that is ~16%; the paper's 6%
+        # corresponds to degree-3 models (59 scalars/point).
+        extra_versions = (fmodel.quality_bounds - 1).sum()
+        expected = (extra_versions * 4 * 4 + fmodel.num_points) / fmodel.base.storage_bytes()
+        assert fmodel.storage_overhead_fraction() == pytest.approx(expected, rel=1e-6)
+        assert fmodel.storage_overhead_fraction() < 0.25
+
+    def test_rank_order_respected(self, layout):
+        base = random_model(50, np.random.default_rng(1))
+        order = np.argsort(np.random.default_rng(2).uniform(size=50))
+        fm = uniform_foveated_model(base, layout, (1.0, 0.4, 0.2, 0.1), order=order)
+        # The top-ranked 20 points (order[:20]) must be exactly level >= 2.
+        assert np.array_equal(np.sort(order[:20]), np.flatnonzero(fm.quality_bounds >= 2))
+
+    def test_invalid_fractions_rejected(self, layout):
+        base = random_model(20, np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            uniform_foveated_model(base, layout, (0.9, 0.5, 0.2, 0.1))
+        with pytest.raises(ValueError):
+            uniform_foveated_model(base, layout, (1.0, 0.2, 0.5, 0.1))
+        with pytest.raises(ValueError):
+            uniform_foveated_model(base, layout, (1.0, 0.5))
+
+
+class TestMultiVersioning:
+    def test_versions_initialized_from_base(self, fmodel):
+        for level in range(1, 5):
+            assert np.allclose(
+                fmodel.level_opacity_logits(level), fmodel.base.opacity_logits
+            )
+            assert np.allclose(fmodel.level_sh_dc(level), fmodel.base.sh_dc)
+
+    def test_color_delta_zero_initially(self, fmodel):
+        assert np.allclose(fmodel.level_color_delta(3), 0.0)
+
+    def test_color_delta_tracks_dc_change(self, fmodel):
+        fmodel.mv_sh_dc[:, 2, 0] += 1.0  # level 3, red channel
+        from repro.splat.sh import SH_C0
+
+        delta = fmodel.level_color_delta(3)
+        assert np.allclose(delta[:, 0], SH_C0)
+        assert np.allclose(delta[:, 1:], 0.0)
+
+    def test_level_model_materialization(self, fmodel):
+        fmodel.mv_opacity_logits[:, 1] = 2.5  # level 2 versions
+        sub = fmodel.level_model(2)
+        assert sub.num_points == fmodel.level_point_count(2)
+        assert np.allclose(sub.opacity_logits, 2.5)
+
+    def test_invalid_level_rejected(self, fmodel):
+        with pytest.raises(ValueError):
+            fmodel.level_mask(0)
+        with pytest.raises(ValueError):
+            fmodel.level_opacities(5)
+
+
+class TestValidation:
+    def test_shape_checks(self, layout):
+        base = random_model(10, np.random.default_rng(4))
+        good = dict(
+            base=base,
+            quality_bounds=np.ones(10, dtype=int),
+            mv_opacity_logits=np.zeros((10, 4)),
+            mv_sh_dc=np.zeros((10, 4, 3)),
+            layout=layout,
+        )
+        FoveatedModel(**good)
+        bad_bounds = dict(good, quality_bounds=np.full(10, 9))
+        with pytest.raises(ValueError):
+            FoveatedModel(**bad_bounds)
+        bad_mv = dict(good, mv_opacity_logits=np.zeros((10, 3)))
+        with pytest.raises(ValueError):
+            FoveatedModel(**bad_mv)
+        bad_dc = dict(good, mv_sh_dc=np.zeros((10, 4, 2)))
+        with pytest.raises(ValueError):
+            FoveatedModel(**bad_dc)

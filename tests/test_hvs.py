@@ -1,0 +1,174 @@
+"""HVS model: eccentricity pooling, features, and the HVSQ metric."""
+
+import numpy as np
+import pytest
+
+from repro.hvs import (
+    PoolingModel,
+    box_filter,
+    eccentricity_map,
+    feature_stack,
+    hvsq,
+    hvsq_per_region,
+    luminance,
+    pooled_statistics,
+    pooling_radius_map,
+    quantize_radii,
+)
+
+
+class TestPoolingModel:
+    def test_diameter_grows_with_eccentricity(self):
+        pm = PoolingModel()
+        d = pm.diameter_deg(np.array([0.0, 10.0, 30.0]))
+        assert d[0] < d[1] < d[2]
+
+    def test_foveal_floor(self):
+        pm = PoolingModel(d0_deg=0.3)
+        assert pm.diameter_deg(np.array([0.0]))[0] == pytest.approx(0.3)
+
+    def test_quadratic_term(self):
+        linear = PoolingModel(k2=0.0)
+        quad = PoolingModel(k2=0.01)
+        e = np.array([40.0])
+        assert quad.diameter_deg(e)[0] > linear.diameter_deg(e)[0]
+
+    def test_pixel_conversion_floor(self):
+        pm = PoolingModel()
+        assert np.all(pm.diameter_px(np.array([0.0]), degrees_per_pixel=10.0) >= 1.0)
+
+    def test_radius_map_shape(self, front_camera):
+        radii = pooling_radius_map(front_camera)
+        assert radii.shape == (front_camera.height, front_camera.width)
+        # Periphery pools over more pixels than the fovea.
+        assert radii[0, 0] > radii[front_camera.height // 2, front_camera.width // 2]
+
+
+class TestQuantizeRadii:
+    def test_conservative_rounding(self):
+        radii = np.array([[0, 1, 2], [3, 5, 9]])
+        levels, idx = quantize_radii(radii)
+        chosen = levels[idx]
+        assert np.all(chosen >= radii)
+
+    def test_all_zero(self):
+        levels, idx = quantize_radii(np.zeros((4, 4), dtype=int))
+        assert np.all(levels[idx] == 0)
+
+    def test_level_count_bounded(self):
+        radii = np.arange(100).reshape(10, 10)
+        levels, _ = quantize_radii(radii, levels=6)
+        assert len(levels) <= 8
+
+
+class TestFeatures:
+    def test_luminance_weights(self):
+        img = np.zeros((2, 2, 3))
+        img[..., 1] = 1.0  # pure green
+        assert np.allclose(luminance(img), 0.587)
+
+    def test_feature_stack_shape(self):
+        img = np.random.default_rng(0).uniform(size=(16, 24, 3))
+        feats = feature_stack(img)
+        assert feats.shape == (4, 16, 24)
+
+    def test_gradients_zero_on_flat_image(self):
+        feats = feature_stack(np.full((8, 8, 3), 0.5))
+        assert np.allclose(feats[1:], 0.0)
+
+    def test_box_filter_preserves_mean(self):
+        img = np.random.default_rng(1).uniform(size=(32, 32))
+        filtered = box_filter(img, 3)
+        assert filtered.mean() == pytest.approx(img.mean(), rel=0.05)
+
+    def test_box_filter_radius_zero_identity(self):
+        img = np.random.default_rng(2).uniform(size=(8, 8))
+        assert np.array_equal(box_filter(img, 0), img)
+
+    def test_pooled_statistics_flat_input(self):
+        feats = np.full((2, 10, 10), 0.7)
+        mean, std = pooled_statistics(feats, 2)
+        assert np.allclose(mean, 0.7)
+        assert np.allclose(std, 0.0, atol=1e-9)
+
+
+class TestHVSQ:
+    @pytest.fixture()
+    def images(self, front_camera):
+        rng = np.random.default_rng(3)
+        h, w = front_camera.height, front_camera.width
+        ref = rng.uniform(size=(h, w, 3))
+        return front_camera, ref
+
+    def test_identical_images_zero(self, images):
+        cam, ref = images
+        assert hvsq(ref, ref, cam).value == pytest.approx(0.0, abs=1e-12)
+
+    def test_more_distortion_higher_hvsq(self, images):
+        cam, ref = images
+        rng = np.random.default_rng(4)
+        small = np.clip(ref + rng.normal(scale=0.02, size=ref.shape), 0, 1)
+        large = np.clip(ref + rng.normal(scale=0.2, size=ref.shape), 0, 1)
+        assert hvsq(ref, large, cam).value > hvsq(ref, small, cam).value
+
+    def test_peripheral_distortion_cheaper_than_foveal(self, images):
+        # The defining property of the metric: the same local scramble is
+        # less visible at high eccentricity (bigger pooling, statistics
+        # survive shuffling) than under the gaze.
+        cam, ref = images
+        rng = np.random.default_rng(5)
+        h, w = ref.shape[:2]
+
+        def shuffle_patch(img, y0, x0, size=12):
+            out = img.copy()
+            patch = out[y0 : y0 + size, x0 : x0 + size].reshape(-1, 3)
+            out[y0 : y0 + size, x0 : x0 + size] = rng.permutation(patch).reshape(
+                size, size, 3
+            )
+            return out
+
+        foveal = shuffle_patch(ref, h // 2 - 6, w // 2 - 6)
+        peripheral = shuffle_patch(ref, 0, 0)
+        q_fov = hvsq(ref, foveal, cam).value
+        q_per = hvsq(ref, peripheral, cam).value
+        assert q_per < q_fov
+
+    def test_region_mask_restricts_average(self, images):
+        cam, ref = images
+        rng = np.random.default_rng(6)
+        altered = ref.copy()
+        altered[:10, :10] = rng.uniform(size=(10, 10, 3))  # corrupt a corner
+        mask_hit = np.zeros(ref.shape[:2], dtype=bool)
+        mask_hit[:10, :10] = True
+        mask_miss = np.zeros_like(mask_hit)
+        mask_miss[-10:, -10:] = True
+        q_hit = hvsq(ref, altered, cam, region_mask=mask_hit).value
+        q_miss = hvsq(ref, altered, cam, region_mask=mask_miss).value
+        assert q_hit > q_miss
+
+    def test_empty_region_mask_rejected(self, images):
+        cam, ref = images
+        with pytest.raises(ValueError):
+            hvsq(ref, ref, cam, region_mask=np.zeros(ref.shape[:2], dtype=bool))
+
+    def test_shape_mismatch_rejected(self, images):
+        cam, ref = images
+        with pytest.raises(ValueError):
+            hvsq(ref, ref[:-2], cam)
+
+    def test_per_region_values(self, images):
+        cam, ref = images
+        rng = np.random.default_rng(7)
+        altered = np.clip(ref + rng.normal(scale=0.1, size=ref.shape), 0, 1)
+        values = hvsq_per_region(ref, altered, cam, (0.0, 10.0, 20.0))
+        assert len(values) == 3
+        finite = [v for v in values if not np.isnan(v)]
+        assert all(v >= 0 for v in finite)
+
+    def test_gaze_matters(self, images):
+        cam, ref = images
+        altered = ref.copy()
+        altered[:16, :16] = 0.0  # kill the top-left corner
+        q_far = hvsq(ref, altered, cam, gaze=(cam.width - 1.0, cam.height - 1.0)).value
+        q_near = hvsq(ref, altered, cam, gaze=(8.0, 8.0)).value
+        assert q_near > q_far

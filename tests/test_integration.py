@@ -1,0 +1,142 @@
+"""Cross-module integration: the paper's end-to-end flows.
+
+Each test exercises a complete pipeline the way a benchmark does, asserting
+the *shape* results the paper's evaluation reports.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.accel import (
+    METASAPIENS_BASE,
+    METASAPIENS_TM_IP,
+    run_accelerator,
+)
+from repro.baselines import build_baselines
+from repro.core import compute_ce, prune_lowest_ce
+from repro.foveation import build_foveated_model, FRTrainConfig, render_foveated
+from repro.harness import EVAL_REGION_LAYOUT, quick_l1_model
+from repro.perf import DEFAULT_GPU, workload_from_fr, workload_from_render
+from repro.splat import render
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return repro.setup_trace(
+        "room", n_points=700, width=96, height=64, n_train=3, n_eval=2
+    )
+
+
+@pytest.fixture(scope="module")
+def dense(setup):
+    return build_baselines(setup.scene, setup.train_cameras, names=("3DGS",))["3DGS"]
+
+
+class TestPruningFlow:
+    def test_ce_pruning_speeds_up_with_modest_quality_cost(self, setup, dense):
+        """Sec 3: CE pruning buys large intersection cuts for small dB."""
+        from repro.hvs.metrics import psnr
+
+        ce = compute_ce(dense.model, setup.train_cameras)
+        pruned = prune_lowest_ce(dense.model, ce.ce, 0.6).model
+
+        cam, target = setup.eval_cameras[0], setup.eval_targets[0]
+        r_dense = render(dense.model, cam)
+        r_pruned = render(pruned, cam)
+        ints_ratio = (
+            r_pruned.stats.total_intersections / r_dense.stats.total_intersections
+        )
+        quality_drop = psnr(target, r_dense.image) - psnr(target, r_pruned.image)
+        assert ints_ratio < 0.75
+        assert quality_drop < 6.0
+
+
+class TestFoveationFlow:
+    def test_fr_on_pruned_model_compounds_speedup(self, setup, dense):
+        """Fig 12's ladder: pruning then FR reduces workload further."""
+        gpu = DEFAULT_GPU
+        fps_dense = gpu.fps(workload_from_render(render(dense.model, setup.eval_cameras[0])))
+
+        l1 = quick_l1_model(setup, dense, keep_fraction=0.4)
+        fps_l1 = gpu.fps(workload_from_render(render(l1, setup.eval_cameras[0])))
+
+        fr = build_foveated_model(
+            l1, setup.train_cameras, setup.train_targets, EVAL_REGION_LAYOUT,
+            FRTrainConfig(level_fractions=(1.0, 0.45, 0.22, 0.1), finetune_iterations=0),
+            finetune=False,
+        ).model
+        fps_fr = gpu.fps(workload_from_fr(render_foveated(fr, setup.eval_cameras[0]).stats))
+
+        assert fps_l1 > fps_dense
+        assert fps_fr > fps_l1
+
+    def test_hvsq_increases_from_fovea_outward_before_training(self, setup):
+        fr = build_foveated_model(
+            setup.scene, setup.train_cameras[:2], setup.train_targets[:2],
+            EVAL_REGION_LAYOUT,
+            FRTrainConfig(level_fractions=(1.0, 0.45, 0.22, 0.1), finetune_iterations=0),
+            finetune=False,
+        )
+        # Level 1 is lossless relative to the GT scene; deeper levels lose
+        # quality monotonically in this untrained hierarchy.
+        assert fr.hvsq_per_level[0] == pytest.approx(0.0, abs=1e-9)
+        assert fr.hvsq_per_level[-1] > fr.hvsq_per_level[0]
+
+
+class TestAcceleratorFlow:
+    def test_fr_frame_through_accelerator(self, setup, dense):
+        l1 = quick_l1_model(setup, dense, keep_fraction=0.4)
+        fr = build_foveated_model(
+            l1, setup.train_cameras, setup.train_targets, EVAL_REGION_LAYOUT,
+            FRTrainConfig(level_fractions=(1.0, 0.45, 0.22, 0.1), finetune_iterations=0),
+            finetune=False,
+        ).model
+        result = render_foveated(fr, setup.eval_cameras[0])
+        workload = workload_from_fr(result.stats)
+        ints = result.stats.raster_intersections_per_tile
+
+        base = run_accelerator(ints, workload, METASAPIENS_BASE)
+        tm_ip = run_accelerator(ints, workload, METASAPIENS_TM_IP)
+        assert base.speedup > 3.0
+        assert tm_ip.speedup >= base.speedup
+        assert tm_ip.utilization >= base.utilization
+
+    def test_foveation_worsens_imbalance(self, setup, dense):
+        """Sec 5.2: FR concentrates work in foveal tiles, raising the
+        per-tile coefficient of variation."""
+        l1 = quick_l1_model(setup, dense, keep_fraction=0.5)
+        fr = build_foveated_model(
+            l1, setup.train_cameras, setup.train_targets, EVAL_REGION_LAYOUT,
+            FRTrainConfig(level_fractions=(1.0, 0.35, 0.15, 0.06), finetune_iterations=0),
+            finetune=False,
+        ).model
+        cam = setup.eval_cameras[0]
+        dense_ints = render(l1, cam).stats.intersections_per_tile.astype(float)
+        fr_ints = render_foveated(fr, cam).stats.raster_intersections_per_tile
+
+        def cv(x):
+            x = x[x > 0]
+            return x.std() / x.mean() if x.size and x.mean() > 0 else 0.0
+
+        assert cv(fr_ints) > cv(dense_ints) * 0.9  # never meaningfully better
+
+
+class TestUserStudyFlow:
+    def test_study_from_rendered_hvsq(self, setup, dense):
+        """Build stimuli from actual renders and run the 2IFC study."""
+        from repro.hvs import hvsq
+        from repro.study import StimulusQuality, run_user_study
+
+        cam, target = setup.eval_cameras[0], setup.eval_targets[0]
+        ours_img = render(dense.model, cam).image  # stand-in rendering
+        q = hvsq(target, ours_img, cam).value
+        stimuli = {
+            "room": (
+                StimulusQuality("ours", q, flicker=0.02),
+                StimulusQuality("baseline", q, flicker=0.08),
+            )
+        }
+        result = run_user_study(stimuli, seed=0)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.total_trials == 96

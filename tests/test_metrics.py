@@ -1,0 +1,93 @@
+"""Objective quality metrics: PSNR, SSIM, LPIPS proxy."""
+
+import numpy as np
+import pytest
+
+from repro.hvs.metrics import lpips_proxy, psnr, ssim
+
+
+@pytest.fixture()
+def images():
+    rng = np.random.default_rng(0)
+    ref = rng.uniform(size=(32, 48, 3))
+    return ref, rng
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self, images):
+        ref, _ = images
+        assert psnr(ref, ref) == np.inf
+
+    def test_known_value(self):
+        ref = np.zeros((4, 4, 3))
+        alt = np.full((4, 4, 3), 0.1)  # MSE = 0.01 → PSNR = 20 dB
+        assert psnr(ref, alt) == pytest.approx(20.0)
+
+    def test_monotone_in_noise(self, images):
+        ref, rng = images
+        a = np.clip(ref + rng.normal(scale=0.01, size=ref.shape), 0, 1)
+        b = np.clip(ref + rng.normal(scale=0.1, size=ref.shape), 0, 1)
+        assert psnr(ref, a) > psnr(ref, b)
+
+    def test_symmetry(self, images):
+        ref, rng = images
+        alt = rng.uniform(size=ref.shape)
+        assert psnr(ref, alt) == pytest.approx(psnr(alt, ref))
+
+    def test_shape_mismatch_rejected(self, images):
+        ref, _ = images
+        with pytest.raises(ValueError):
+            psnr(ref, ref[:-1])
+
+
+class TestSSIM:
+    def test_identical_is_one(self, images):
+        ref, _ = images
+        assert ssim(ref, ref) == pytest.approx(1.0)
+
+    def test_range(self, images):
+        ref, rng = images
+        alt = rng.uniform(size=ref.shape)
+        value = ssim(ref, alt)
+        assert -1.0 <= value <= 1.0
+
+    def test_monotone_in_noise(self, images):
+        ref, rng = images
+        a = np.clip(ref + rng.normal(scale=0.02, size=ref.shape), 0, 1)
+        b = np.clip(ref + rng.normal(scale=0.3, size=ref.shape), 0, 1)
+        assert ssim(ref, a) > ssim(ref, b)
+
+    def test_structure_sensitivity(self, images):
+        # A constant luminance shift hurts SSIM less than structural noise
+        # of the same energy.
+        ref, rng = images
+        shift = np.clip(ref + 0.1, 0, 1)
+        noise = np.clip(ref + rng.normal(scale=0.1, size=ref.shape), 0, 1)
+        assert ssim(ref, shift) > ssim(ref, noise)
+
+
+class TestLPIPSProxy:
+    def test_identical_is_zero(self, images):
+        ref, _ = images
+        assert lpips_proxy(ref, ref) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_in_noise(self, images):
+        ref, rng = images
+        a = np.clip(ref + rng.normal(scale=0.02, size=ref.shape), 0, 1)
+        b = np.clip(ref + rng.normal(scale=0.3, size=ref.shape), 0, 1)
+        assert lpips_proxy(ref, a) < lpips_proxy(ref, b)
+
+    def test_nonnegative(self, images):
+        ref, rng = images
+        alt = rng.uniform(size=ref.shape)
+        assert lpips_proxy(ref, alt) >= 0.0
+
+    def test_tiny_images_do_not_crash(self):
+        ref = np.random.default_rng(1).uniform(size=(5, 5, 3))
+        alt = np.random.default_rng(2).uniform(size=(5, 5, 3))
+        assert np.isfinite(lpips_proxy(ref, alt))
+
+    def test_shape_mismatch_rejected(self, images):
+        ref, _ = images
+        with pytest.raises(ValueError):
+            lpips_proxy(ref, ref[:, :-1])

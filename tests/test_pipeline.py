@@ -1,0 +1,99 @@
+"""The Fig 6 prune/re-train controller and variant construction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_3dgs
+from repro.core import (
+    PruneTrainConfig,
+    build_variant,
+    efficiency_aware_optimize,
+    make_l1_quality_loss,
+    mean_intersections,
+    mean_psnr,
+)
+from repro.train import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def dense_setup(small_scene, train_cameras, train_targets):
+    dense = make_3dgs(small_scene, seed=0)
+    return dense, train_cameras, train_targets
+
+
+class TestController:
+    def test_monotone_point_reduction(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        config = PruneTrainConfig(
+            max_iterations=2, max_retrain_rounds=0, train=TrainConfig(iterations=1)
+        )
+        result = efficiency_aware_optimize(dense.model, cameras, targets, config=config)
+        assert result.point_history[0] > result.point_history[-1]
+        assert all(np.diff(result.point_history) <= 0)
+
+    def test_intersections_fall_with_points(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        config = PruneTrainConfig(
+            max_iterations=2, max_retrain_rounds=0, train=TrainConfig(iterations=1)
+        )
+        result = efficiency_aware_optimize(dense.model, cameras, targets, config=config)
+        assert result.intersection_history[-1] < result.intersection_history[0]
+
+    def test_retraining_recovers_quality(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        loss = make_l1_quality_loss(cameras, targets)
+        no_retrain = efficiency_aware_optimize(
+            dense.model, cameras, targets,
+            config=PruneTrainConfig(max_iterations=2, max_retrain_rounds=0,
+                                    prune_fraction=0.3),
+        )
+        with_retrain = efficiency_aware_optimize(
+            dense.model, cameras, targets,
+            config=PruneTrainConfig(max_iterations=2, max_retrain_rounds=2,
+                                    prune_fraction=0.3, quality_threshold=0.0,
+                                    train=TrainConfig(iterations=5)),
+        )
+        assert loss(with_retrain.model) < loss(no_retrain.model)
+
+    def test_histories_aligned(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        config = PruneTrainConfig(max_iterations=3, max_retrain_rounds=0)
+        result = efficiency_aware_optimize(dense.model, cameras, targets, config=config)
+        assert len(result.quality_history) == 4  # initial + 3 iterations
+        assert len(result.point_history) == len(result.intersection_history)
+
+
+class TestMeanIntersections:
+    def test_positive(self, dense_setup):
+        dense, cameras, _ = dense_setup
+        assert mean_intersections(dense.model, cameras[:2]) > 0
+
+
+class TestVariants:
+    def test_variant_respects_psnr_floor(self, small_scene, train_cameras, train_targets, dense_setup):
+        dense, cameras, targets = dense_setup
+        result = build_variant(
+            dense.model, cameras, targets, variant="H", prune_fraction=0.25,
+            max_rounds=3, finetune_rounds=0,
+        )
+        assert result.psnr >= 0.99 * result.dense_psnr
+        assert result.model.num_points <= dense.model.num_points
+        assert result.name == "MetaSapiens-H"
+
+    def test_lower_variants_prune_harder_or_equal(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        h = build_variant(dense.model, cameras, targets, "H", prune_fraction=0.3,
+                          max_rounds=3, finetune_rounds=0)
+        low = build_variant(dense.model, cameras, targets, "L", prune_fraction=0.3,
+                            max_rounds=3, finetune_rounds=0)
+        assert low.model.num_points <= h.model.num_points
+
+    def test_unknown_variant_rejected(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        with pytest.raises(KeyError):
+            build_variant(dense.model, cameras, targets, "X")
+
+    def test_mean_psnr_finite(self, dense_setup):
+        dense, cameras, targets = dense_setup
+        value = mean_psnr(dense.model, cameras, targets)
+        assert np.isfinite(value) and value > 5.0

@@ -1,0 +1,115 @@
+"""Projection stage: culling, conics, radii, overrides, Mip filter."""
+
+import numpy as np
+import pytest
+
+from repro.splat.camera import Camera
+from repro.splat.gaussians import GaussianModel, random_model
+from repro.splat.projection import project_gaussians
+
+
+def single_point_model(position, scale=0.3, opacity_logit=2.0):
+    return GaussianModel(
+        positions=np.asarray([position], dtype=float),
+        log_scales=np.log(np.full((1, 3), scale)),
+        rotations=np.array([[1.0, 0, 0, 0]]),
+        opacity_logits=np.array([opacity_logit]),
+        sh=np.zeros((1, 1, 3)),
+    )
+
+
+class TestCulling:
+    def test_behind_camera_culled(self, front_camera):
+        model = single_point_model([0.0, 0.0, -10.0])
+        projected = project_gaussians(model, front_camera)
+        assert projected.num_visible == 0
+
+    def test_in_front_kept(self, front_camera):
+        model = single_point_model([0.0, 0.0, 0.0])
+        projected = project_gaussians(model, front_camera)
+        assert projected.num_visible == 1
+
+    def test_outside_frustum_margin_culled(self, front_camera):
+        # 60° FOV: a point 80° off-axis is far outside the 1.3x margin.
+        model = single_point_model([30.0, 0.0, 0.0])
+        projected = project_gaussians(model, front_camera)
+        assert projected.num_visible == 0
+
+    def test_point_ids_index_source_model(self, front_camera, rng):
+        model = random_model(60, np.random.default_rng(3), extent=2.0)
+        projected = project_gaussians(model, front_camera)
+        assert projected.point_ids.max(initial=0) < model.num_points
+        assert len(np.unique(projected.point_ids)) == projected.num_visible
+
+    def test_empty_model_ok(self, front_camera):
+        model = random_model(5, np.random.default_rng(0), extent=0.1)
+        # Move all points far behind the camera.
+        model.positions[:, 2] = -100.0
+        projected = project_gaussians(model, front_camera)
+        assert projected.num_visible == 0
+        assert projected.means2d.shape == (0, 2)
+
+
+class TestConics:
+    def test_center_projects_to_screen_position(self, front_camera):
+        model = single_point_model([0.0, 0.0, 0.0])
+        projected = project_gaussians(model, front_camera)
+        assert projected.means2d[0, 0] == pytest.approx(front_camera.cx)
+        assert projected.means2d[0, 1] == pytest.approx(front_camera.cy)
+
+    def test_conic_positive_definite(self, front_camera, small_scene):
+        projected = project_gaussians(small_scene, front_camera)
+        a, b, c = projected.conics[:, 0], projected.conics[:, 1], projected.conics[:, 2]
+        assert np.all(a > 0)
+        assert np.all(a * c - b * b > 0)
+
+    def test_conic_inverts_cov2d(self, front_camera):
+        model = single_point_model([0.3, -0.2, 0.0])
+        projected = project_gaussians(model, front_camera)
+        a, b, c = projected.cov2d[0]
+        ca, cb, cc = projected.conics[0]
+        cov = np.array([[a, b], [b, c]])
+        conic = np.array([[ca, cb], [cb, cc]])
+        assert np.allclose(cov @ conic, np.eye(2), atol=1e-9)
+
+    def test_radius_grows_with_scale(self, front_camera):
+        small = project_gaussians(single_point_model([0, 0, 0], scale=0.1), front_camera)
+        large = project_gaussians(single_point_model([0, 0, 0], scale=0.8), front_camera)
+        assert large.radii[0] > small.radii[0]
+
+    def test_radius_shrinks_with_depth(self, front_camera):
+        near = project_gaussians(single_point_model([0, 0, -2.0], scale=0.4), front_camera)
+        far = project_gaussians(single_point_model([0, 0, 8.0], scale=0.4), front_camera)
+        assert near.radii[0] > far.radii[0]
+
+
+class TestMipSmoothingFilter:
+    def test_filter_enlarges_small_distant_splats(self, front_camera):
+        model = single_point_model([0.0, 0.0, 10.0], scale=0.01)
+        plain = project_gaussians(model, front_camera, smoothing_3d=0.0)
+        mip = project_gaussians(model, front_camera, smoothing_3d=2.0)
+        assert mip.radii[0] >= plain.radii[0]
+        assert mip.cov2d[0, 0] > plain.cov2d[0, 0]
+
+    def test_filter_barely_touches_large_splats(self, front_camera):
+        model = single_point_model([0.0, 0.0, 0.0], scale=1.0)
+        plain = project_gaussians(model, front_camera, smoothing_3d=0.0)
+        mip = project_gaussians(model, front_camera, smoothing_3d=1.0)
+        assert mip.cov2d[0, 0] == pytest.approx(plain.cov2d[0, 0], rel=0.05)
+
+
+class TestOverrides:
+    def test_opacity_override(self, front_camera, small_scene):
+        override = np.full(small_scene.num_points, 0.123)
+        projected = project_gaussians(small_scene, front_camera, opacity_override=override)
+        assert np.allclose(projected.opacities, 0.123)
+
+    def test_color_override(self, front_camera, small_scene):
+        override = np.tile([0.1, 0.2, 0.3], (small_scene.num_points, 1))
+        projected = project_gaussians(small_scene, front_camera, color_override=override)
+        assert np.allclose(projected.colors, [0.1, 0.2, 0.3])
+
+    def test_default_colors_from_sh(self, front_camera, small_scene):
+        projected = project_gaussians(small_scene, front_camera)
+        assert np.all(projected.colors >= 0.0)
+        assert projected.colors.std() > 0.0  # scene has colour variety

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.accel.tile_merge import identity_merge, merge_tiles
+from repro.core.ce import frame_ce
+from repro.core.pruning import prune_lowest_ce
+from repro.foveation.regions import RegionLayout
+from repro.splat.gaussians import (
+    normalize_quaternions,
+    quaternions_to_matrices,
+    random_model,
+    sigmoid,
+)
+from repro.splat.rasterizer import composite
+from repro.splat.sh import sh_basis
+from repro.splat.tiling import TileGrid
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCompositingProperties:
+    @given(
+        alphas=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 12), st.integers(1, 6)),
+            elements=st.floats(0.0, 0.999),
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_conservation(self, alphas, seed):
+        """Weights + final transmittance always partition unit energy."""
+        rng = np.random.default_rng(seed)
+        colors = rng.uniform(size=(alphas.shape[0], 3))
+        _, weights, final_t = composite(alphas, colors, np.zeros(3))
+        total = weights.sum(axis=0) + final_t
+        assert np.all(total <= 1.0 + 1e-9)
+        assert np.all(weights >= 0)
+        assert np.all(final_t >= 0)
+
+    @given(
+        alphas=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 10), st.integers(1, 4)),
+            elements=st.floats(0.0, 0.999),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pixel_color_bounded_by_max_splat_color(self, alphas):
+        """With colours in [0,1] and black background, outputs stay in [0,1]."""
+        colors = np.full((alphas.shape[0], 3), 1.0)
+        out, _, _ = composite(alphas, colors, np.zeros(3))
+        assert np.all(out <= 1.0 + 1e-9)
+        assert np.all(out >= 0.0)
+
+
+class TestQuaternionProperties:
+    @given(
+        quats=hnp.arrays(
+            np.float64, st.tuples(st.integers(1, 20), st.just(4)),
+            elements=st.floats(-10, 10),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rotation_matrices_orthonormal(self, quats):
+        mats = quaternions_to_matrices(quats)
+        identity = mats @ mats.transpose(0, 2, 1)
+        assert np.allclose(identity, np.eye(3), atol=1e-8)
+
+    @given(
+        quats=hnp.arrays(
+            np.float64, st.tuples(st.integers(1, 20), st.just(4)),
+            elements=st.floats(-5, 5),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_normalization_idempotent(self, quats):
+        once = normalize_quaternions(quats)
+        twice = normalize_quaternions(once)
+        assert np.allclose(once, twice)
+
+
+class TestSHProperties:
+    @given(
+        dirs=hnp.arrays(
+            np.float64, st.tuples(st.integers(1, 30), st.just(3)),
+            elements=st.floats(-3, 3),
+        ),
+        degree=st.integers(0, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_basis_finite_and_scale_invariant(self, dirs, degree):
+        basis = sh_basis(dirs, degree)
+        assert np.all(np.isfinite(basis))
+        assert np.allclose(basis, sh_basis(dirs * 3.0, degree), atol=1e-9)
+
+
+class TestPruningProperties:
+    @given(
+        n=st.integers(2, 60),
+        fraction=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prune_partition(self, n, fraction, seed):
+        rng = np.random.default_rng(seed)
+        model = random_model(n, rng)
+        ce = rng.uniform(size=n)
+        result = prune_lowest_ce(model, ce, fraction)
+        # Kept ∪ removed is a partition; at least one point survives.
+        union = np.sort(np.concatenate([result.kept_indices, result.removed_indices]))
+        assert np.array_equal(union, np.arange(n))
+        assert result.model.num_points >= 1
+        # Every removed point has CE <= every kept point.
+        if result.removed_indices.size and result.kept_indices.size:
+            assert ce[result.removed_indices].max() <= ce[result.kept_indices].min() + 1e-12
+
+
+class TestCEProperties:
+    @given(
+        val=hnp.arrays(np.int64, st.integers(1, 50), elements=st.integers(0, 100)),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frame_ce_nonnegative_and_zero_for_unused(self, val, seed):
+        rng = np.random.default_rng(seed)
+        comp = rng.integers(0, 20, size=val.shape[0])
+        ce = frame_ce(val, comp)
+        assert np.all(ce >= 0)
+        assert np.all(ce[comp == 0] == 0)
+
+
+class TestTileMergeProperties:
+    @given(
+        counts=hnp.arrays(
+            np.float64, st.integers(1, 200), elements=st.floats(0.0, 500.0)
+        ),
+        threshold=st.floats(1.0, 1000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_conserves_work_and_tiles(self, counts, threshold):
+        merged = merge_tiles(counts, threshold)
+        assert merged.group_counts.sum() == pytest.approx(counts.sum(), rel=1e-9, abs=1e-9)
+        assert merged.group_sizes.sum() == counts.size
+        assert merged.num_groups <= counts.size
+        # Group indices of consecutive tiles never decrease.
+        assert np.all(np.diff(merged.group_of_tile) >= 0)
+
+    @given(
+        counts=hnp.arrays(
+            np.float64, st.integers(2, 100), elements=st.floats(0.1, 100.0)
+        ),
+        threshold=st.floats(1.0, 500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_work_bounded(self, counts, threshold):
+        """No merged group exceeds β unless a single tile already does."""
+        merged = merge_tiles(counts, threshold)
+        bound = max(threshold, counts.max()) + 1e-9
+        assert np.all(merged.group_counts <= bound)
+
+
+class TestRegionProperties:
+    @given(
+        ecc=hnp.arrays(np.float64, st.integers(1, 100), elements=st.floats(0.0, 90.0)),
+        b1=st.floats(5.0, 20.0),
+        gap=st.floats(1.0, 20.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_levels_monotone_in_eccentricity(self, ecc, b1, gap):
+        layout = RegionLayout(boundaries_deg=(0.0, b1, b1 + gap), blend_band_deg=0.5)
+        levels = layout.level_of(np.sort(ecc))
+        assert np.all(np.diff(levels) >= 0)
+        assert levels.min() >= 1 and levels.max() <= 3
+
+
+class TestTileGridProperties:
+    @given(
+        width=st.integers(1, 300),
+        height=st.integers(1, 300),
+        tile=st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_cover_image_exactly(self, width, height, tile):
+        grid = TileGrid(width=width, height=height, tile_size=tile)
+        area = 0
+        for tid in range(grid.num_tiles):
+            x0, y0, x1, y1 = grid.tile_pixel_bounds(tid)
+            assert 0 <= x0 < x1 <= width
+            assert 0 <= y0 < y1 <= height
+            area += (x1 - x0) * (y1 - y0)
+        assert area == width * height
+
+
+class TestSigmoidProperties:
+    @given(x=hnp.arrays(np.float64, st.integers(1, 50), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_monotone(self, x):
+        out = sigmoid(x)
+        assert np.all((out >= 0) & (out <= 1))
+        xs = np.sort(x)
+        assert np.all(np.diff(sigmoid(xs)) >= -1e-15)

@@ -1,0 +1,119 @@
+"""Analytic rasterizer gradients vs finite differences.
+
+The fine-tuning loop (scale decay, multi-version training) relies on these
+gradients being correct; each test perturbs one parameter of one point and
+compares the analytic directional derivative with a central difference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.splat.gaussians import GaussianModel
+from repro.splat.rasterizer import rasterize, rasterize_backward
+from repro.splat.renderer import RenderConfig, prepare_view
+
+
+def build_model(rng, n=6):
+    positions = np.column_stack(
+        [rng.uniform(-0.8, 0.8, n), rng.uniform(-0.6, 0.6, n), rng.uniform(-0.5, 0.5, n)]
+    )
+    return GaussianModel(
+        positions=positions,
+        log_scales=np.log(rng.uniform(0.15, 0.4, size=(n, 3))),
+        rotations=np.tile([1.0, 0, 0, 0], (n, 1)),
+        opacity_logits=rng.uniform(-0.5, 1.5, n),
+        sh=rng.normal(scale=0.3, size=(n, 1, 3)),
+    )
+
+
+def loss_and_grads(model, camera):
+    """Simple quadratic loss ½‖img‖²: grad_image = img."""
+    projected, assignment = prepare_view(model, camera)
+    image, _ = rasterize(projected, assignment, model.num_points, collect_stats=False)
+    loss = 0.5 * float(np.sum(image**2))
+    grads = rasterize_backward(
+        projected, assignment, model.num_points, grad_image=image
+    )
+    return loss, grads
+
+
+def numeric_grad(model, camera, mutate, eps=1e-5):
+    plus = model.copy()
+    mutate(plus, +eps)
+    minus = model.copy()
+    mutate(minus, -eps)
+    lp, _ = loss_and_grads(plus, camera)
+    lm, _ = loss_and_grads(minus, camera)
+    return (lp - lm) / (2 * eps)
+
+
+@pytest.fixture()
+def setup(front_camera):
+    rng = np.random.default_rng(42)
+    model = build_model(rng)
+    return model, front_camera
+
+
+class TestGradients:
+    def test_color_gradient(self, setup):
+        model, camera = setup
+        _, grads = loss_and_grads(model, camera)
+        # Perturb the rendered colour of point 0 via a colour override is
+        # impractical; instead perturb the DC coefficient and account for
+        # the SH chain factor analytically in the reference.
+        from repro.splat.sh import SH_C0
+
+        for channel in range(3):
+            def mutate(m, eps, ch=channel):
+                m.sh[0, 0, ch] += eps
+
+            num = numeric_grad(model, camera, mutate)
+            ana = grads.color[0, channel] * SH_C0
+            assert num == pytest.approx(ana, rel=0.03, abs=1e-7)
+
+    def test_opacity_gradient(self, setup):
+        model, camera = setup
+        _, grads = loss_and_grads(model, camera)
+        opac = model.opacities
+
+        for point in range(3):
+            def mutate(m, eps, i=point):
+                m.opacity_logits[i] += eps
+
+            num = numeric_grad(model, camera, mutate)
+            ana = grads.opacity[point] * opac[point] * (1 - opac[point])
+            assert num == pytest.approx(ana, rel=0.05, abs=1e-6)
+
+    def test_log_scale_gradient_sign_and_magnitude(self, setup):
+        model, camera = setup
+        _, grads = loss_and_grads(model, camera)
+
+        # The analytic scale gradient ignores the constant screen-space
+        # dilation and the radius/tiling dependency, so compare with a
+        # looser tolerance.
+        for point in range(3):
+            def mutate(m, eps, i=point):
+                m.log_scales[i, :] += eps
+
+            num = numeric_grad(model, camera, mutate, eps=1e-4)
+            ana = grads.log_scale[point]
+            if abs(num) < 1e-7 and abs(ana) < 1e-7:
+                continue
+            assert np.sign(num) == np.sign(ana)
+            assert abs(ana) == pytest.approx(abs(num), rel=0.5)
+
+    def test_gradients_zero_for_invisible_points(self, setup):
+        model, camera = setup
+        model = model.copy()
+        model.positions[5, 2] = -100.0  # behind the camera
+        _, grads = loss_and_grads(model, camera)
+        assert grads.color[5].sum() == 0.0
+        assert grads.opacity[5] == 0.0
+        assert grads.log_scale[5] == 0.0
+
+    def test_gradient_shapes(self, setup):
+        model, camera = setup
+        _, grads = loss_and_grads(model, camera)
+        assert grads.color.shape == (model.num_points, 3)
+        assert grads.opacity.shape == (model.num_points,)
+        assert grads.log_scale.shape == (model.num_points,)

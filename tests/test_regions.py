@@ -1,0 +1,103 @@
+"""Foveation quality regions: level maps, blending bands, tile assignment."""
+
+import numpy as np
+import pytest
+
+from repro.foveation.regions import (
+    PAPER_REGION_BOUNDARIES_DEG,
+    RegionLayout,
+    compute_region_maps,
+    region_masks,
+    region_pixel_fractions,
+)
+from repro.splat.tiling import TileGrid
+
+
+@pytest.fixture()
+def layout():
+    return RegionLayout(boundaries_deg=(0.0, 12.0, 20.0, 28.0), blend_band_deg=1.5)
+
+
+class TestLayout:
+    def test_paper_boundaries(self):
+        assert PAPER_REGION_BOUNDARIES_DEG == (0.0, 18.0, 27.0, 33.0)
+        assert RegionLayout().num_levels == 4
+
+    def test_level_of_scalar_bands(self, layout):
+        ecc = np.array([0.0, 5.0, 12.0, 19.9, 20.0, 27.9, 28.0, 60.0])
+        levels = layout.level_of(ecc)
+        assert list(levels) == [1, 1, 2, 2, 3, 3, 4, 4]
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            RegionLayout(boundaries_deg=(5.0, 10.0))
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            RegionLayout(boundaries_deg=(0.0, 10.0, 10.0))
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            RegionLayout(blend_band_deg=-1.0)
+
+    def test_blend_weights_ramp(self, layout):
+        ecc = np.array([10.5, 12.0, 13.5])  # across the first boundary band
+        needs, weight = layout.blend_weights(ecc)
+        assert list(needs) == [True, True, False]
+        assert weight[0] == pytest.approx(0.0)
+        assert weight[1] == pytest.approx(0.5)
+
+    def test_zero_band_disables_blending(self):
+        layout = RegionLayout(boundaries_deg=(0.0, 10.0), blend_band_deg=0.0)
+        needs, weight = layout.blend_weights(np.array([9.9, 10.0, 10.1]))
+        assert not needs.any()
+
+
+class TestRegionMaps:
+    @pytest.fixture()
+    def maps(self, front_camera, layout):
+        grid = TileGrid(front_camera.width, front_camera.height)
+        return compute_region_maps(front_camera, grid, layout)
+
+    def test_pixel_levels_radially_monotone(self, maps, front_camera):
+        cy, cx = front_camera.height // 2, front_camera.width // 2
+        assert maps.pixel_level[cy, cx] == 1
+        assert maps.pixel_level[0, 0] >= maps.pixel_level[cy, cx]
+
+    def test_tile_level_matches_center_pixel(self, maps, front_camera, layout):
+        grid = TileGrid(front_camera.width, front_camera.height)
+        centers = grid.tile_centers()
+        for tid in range(grid.num_tiles):
+            cx_, cy_ = int(centers[tid, 0]), int(centers[tid, 1])
+            assert maps.tile_level[tid] == maps.pixel_level[cy_, cx_]
+
+    def test_second_level_adjacent(self, maps):
+        for tid in range(maps.tile_level.shape[0]):
+            second = maps.tile_second_level[tid]
+            if second:
+                assert abs(second - maps.tile_level[tid]) == 1
+
+    def test_band_level_only_on_blend_pixels(self, maps):
+        assert np.all((maps.band_level > 0) == maps.needs_blend)
+
+    def test_blend_fraction_reasonable(self, maps):
+        # The paper reports ~25% of pixels blended; at our scale it should
+        # at least be a minority but non-trivial fraction.
+        assert 0.0 < maps.blend_fraction < 0.6
+
+
+class TestRegionMasks:
+    def test_masks_partition_image(self, front_camera, layout):
+        masks = region_masks(front_camera, layout)
+        total = sum(m.astype(int) for m in masks)
+        assert np.all(total == 1)
+
+    def test_fractions_sum_to_one(self, front_camera, layout):
+        fractions = region_pixel_fractions(front_camera, layout)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert fractions[0] > 0  # fovea non-empty
+
+    def test_gaze_moves_fovea(self, front_camera, layout):
+        fractions_center = region_pixel_fractions(front_camera, layout)
+        fractions_corner = region_pixel_fractions(front_camera, layout, gaze=(0.0, 0.0))
+        assert fractions_center[0] != pytest.approx(fractions_corner[0])

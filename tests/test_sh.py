@@ -1,0 +1,116 @@
+"""Spherical harmonics: basis shapes, values, and round trips."""
+
+import numpy as np
+import pytest
+
+from repro.splat.sh import (
+    SH_C0,
+    dc_to_rgb,
+    eval_sh,
+    num_sh_coeffs,
+    rgb_to_dc,
+    sh_basis,
+)
+
+
+class TestNumCoeffs:
+    def test_degree_counts(self):
+        assert [num_sh_coeffs(d) for d in range(4)] == [1, 4, 9, 16]
+
+    @pytest.mark.parametrize("degree", [-1, 4, 10])
+    def test_invalid_degree_rejected(self, degree):
+        with pytest.raises(ValueError):
+            num_sh_coeffs(degree)
+
+
+class TestBasis:
+    def test_shape(self):
+        dirs = np.random.default_rng(0).normal(size=(17, 3))
+        for degree in range(4):
+            assert sh_basis(dirs, degree).shape == (17, num_sh_coeffs(degree))
+
+    def test_dc_is_constant(self):
+        dirs = np.random.default_rng(1).normal(size=(50, 3))
+        basis = sh_basis(dirs, 3)
+        assert np.allclose(basis[:, 0], SH_C0)
+
+    def test_degree1_linear_in_direction(self):
+        # Band-1 terms are odd: negating the direction flips their sign.
+        dirs = np.random.default_rng(2).normal(size=(20, 3))
+        b_pos = sh_basis(dirs, 1)
+        b_neg = sh_basis(-dirs, 1)
+        assert np.allclose(b_pos[:, 1:4], -b_neg[:, 1:4])
+
+    def test_degree2_even_in_direction(self):
+        dirs = np.random.default_rng(3).normal(size=(20, 3))
+        b_pos = sh_basis(dirs, 2)
+        b_neg = sh_basis(-dirs, 2)
+        assert np.allclose(b_pos[:, 4:9], b_neg[:, 4:9])
+
+    def test_normalization_invariance(self):
+        # Direction magnitude must not matter.
+        dirs = np.random.default_rng(4).normal(size=(10, 3))
+        assert np.allclose(sh_basis(dirs, 3), sh_basis(dirs * 7.5, 3))
+
+    def test_zero_direction_does_not_crash(self):
+        basis = sh_basis(np.zeros((1, 3)), 3)
+        assert np.all(np.isfinite(basis))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            sh_basis(np.zeros((5, 2)), 1)
+
+    def test_orthogonality_monte_carlo(self):
+        # Basis functions are orthogonal under uniform sphere sampling.
+        rng = np.random.default_rng(5)
+        dirs = rng.normal(size=(200_000, 3))
+        basis = sh_basis(dirs, 2)
+        gram = basis.T @ basis / dirs.shape[0]
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.max(np.abs(off_diag)) < 0.01
+
+
+class TestEval:
+    def test_zero_coeffs_give_mid_grey(self):
+        coeffs = np.zeros((5, 4, 3))
+        dirs = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(eval_sh(coeffs, dirs), 0.5)
+
+    def test_clamped_at_zero(self):
+        coeffs = np.zeros((1, 1, 3))
+        coeffs[0, 0, :] = -100.0
+        rgb = eval_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        assert np.all(rgb == 0.0)
+
+    def test_degree_truncation(self):
+        rng = np.random.default_rng(6)
+        coeffs = rng.normal(size=(8, 16, 3))
+        dirs = rng.normal(size=(8, 3))
+        full = eval_sh(coeffs, dirs, degree=3)
+        dc_only = eval_sh(coeffs, dirs, degree=0)
+        assert not np.allclose(full, dc_only)
+        # Degree-0 evaluation must ignore everything but the DC term.
+        coeffs2 = coeffs.copy()
+        coeffs2[:, 1:, :] = 0.0
+        assert np.allclose(eval_sh(coeffs2, dirs), dc_only)
+
+    def test_requested_degree_exceeding_stored_rejected(self):
+        with pytest.raises(ValueError):
+            eval_sh(np.zeros((2, 4, 3)), np.ones((2, 3)), degree=3)
+
+    def test_invalid_coeff_count_rejected(self):
+        with pytest.raises(ValueError):
+            eval_sh(np.zeros((2, 5, 3)), np.ones((2, 3)))
+
+
+class TestDCConversions:
+    def test_round_trip(self):
+        rgb = np.random.default_rng(7).uniform(0.05, 0.95, size=(30, 3))
+        assert np.allclose(dc_to_rgb(rgb_to_dc(rgb)), rgb)
+
+    def test_eval_matches_dc_conversion(self):
+        rgb = np.array([[0.2, 0.5, 0.9]])
+        coeffs = np.zeros((1, 1, 3))
+        coeffs[0, 0, :] = rgb_to_dc(rgb)[0]
+        out = eval_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        assert np.allclose(out, rgb)

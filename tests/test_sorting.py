@@ -1,0 +1,78 @@
+"""Sorting stage: depth ordering per tile, per-pixel variant, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.splat.sorting import per_pixel_depths, sort_cost_ops, sort_tile_splats
+from repro.splat.rasterizer import tile_pixel_centers
+
+
+class TestTileSorting:
+    def test_each_tile_depth_sorted(self, prepared_view):
+        projected, assignment = prepared_view
+        for tile_id in range(assignment.grid.num_tiles):
+            idx = assignment.splats_in_tile(tile_id)
+            depths = projected.depths[idx]
+            assert np.all(np.diff(depths) >= -1e-9)
+
+    def test_sorting_preserves_membership(self, prepared_view):
+        projected, assignment = prepared_view
+        resorted = sort_tile_splats(projected, assignment)
+        for tile_id in range(assignment.grid.num_tiles):
+            before = np.sort(assignment.splats_in_tile(tile_id))
+            after = np.sort(resorted.splats_in_tile(tile_id))
+            assert np.array_equal(before, after)
+
+    def test_sorting_is_idempotent(self, prepared_view):
+        projected, assignment = prepared_view
+        once = sort_tile_splats(projected, assignment)
+        twice = sort_tile_splats(projected, once)
+        assert np.array_equal(once.pair_splats, twice.pair_splats)
+
+
+class TestPerPixelDepths:
+    def test_shape(self, prepared_view):
+        projected, assignment = prepared_view
+        tile_id = int(np.argmax(assignment.intersections_per_tile()))
+        idx = assignment.splats_in_tile(tile_id)[:10]
+        pixels = tile_pixel_centers(assignment.grid, tile_id)
+        depths = per_pixel_depths(projected, idx, pixels)
+        assert depths.shape == (idx.size, pixels.shape[0])
+
+    def test_center_pixel_depth_close_to_base(self, prepared_view):
+        projected, assignment = prepared_view
+        tile_id = int(np.argmax(assignment.intersections_per_tile()))
+        idx = assignment.splats_in_tile(tile_id)[:5]
+        means = projected.means2d[idx]
+        depths = per_pixel_depths(projected, idx, means)  # at splat centres
+        base = projected.depths[idx]
+        assert np.allclose(np.diag(depths[:, : idx.size]), base, rtol=0.02)
+
+    def test_depths_vary_across_pixels(self, prepared_view):
+        projected, assignment = prepared_view
+        tile_id = int(np.argmax(assignment.intersections_per_tile()))
+        idx = assignment.splats_in_tile(tile_id)[:5]
+        pixels = tile_pixel_centers(assignment.grid, tile_id)
+        depths = per_pixel_depths(projected, idx, pixels)
+        assert depths.std(axis=1).max() > 0.0
+
+
+class TestSortCost:
+    def test_zero_for_trivial_tiles(self):
+        assert sort_cost_ops(np.array([0, 1, 1])) == 0.0
+
+    def test_nlogn_growth(self):
+        small = sort_cost_ops(np.array([16]))
+        large = sort_cost_ops(np.array([64]))
+        assert large > 4 * small  # superlinear
+
+    def test_per_pixel_multiplier(self):
+        counts = np.array([32, 64, 128])
+        assert sort_cost_ops(counts, per_pixel=True) == pytest.approx(
+            4.0 * sort_cost_ops(counts, per_pixel=False)
+        )
+
+    def test_additive_over_tiles(self):
+        a = sort_cost_ops(np.array([10]))
+        b = sort_cost_ops(np.array([20]))
+        assert sort_cost_ops(np.array([10, 20])) == pytest.approx(a + b)

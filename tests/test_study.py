@@ -1,0 +1,100 @@
+"""Simulated 2IFC user study: observer model and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.study import (
+    ObserverModel,
+    StimulusQuality,
+    UserStudyResult,
+    run_user_study,
+    simulate_2ifc_votes,
+)
+
+
+def stim(name, hvsq, flicker=0.0):
+    return StimulusQuality(name=name, hvsq=hvsq, flicker=flicker)
+
+
+class TestObserver:
+    def test_equal_stimuli_give_half(self):
+        obs = ObserverModel()
+        a = stim("a", 1e-5)
+        assert obs.preference_probability(a, a) == pytest.approx(0.5)
+
+    def test_better_hvsq_preferred(self):
+        obs = ObserverModel()
+        good = stim("good", 1e-6)
+        bad = stim("bad", 1e-4)
+        assert obs.preference_probability(good, bad) > 0.5
+
+    def test_flicker_penalized(self):
+        obs = ObserverModel()
+        steady = stim("steady", 1e-5, flicker=0.0)
+        flickery = stim("flicker", 1e-5, flicker=0.3)
+        assert obs.preference_probability(steady, flickery) > 0.5
+
+    def test_noise_flattens_preference(self):
+        crisp = ObserverModel(decision_noise=0.1)
+        noisy = ObserverModel(decision_noise=10.0)
+        good, bad = stim("g", 1e-6), stim("b", 5e-5)
+        assert crisp.preference_probability(good, bad) > noisy.preference_probability(
+            good, bad
+        )
+
+
+class TestVotes:
+    def test_shapes_and_bounds(self):
+        rng = np.random.default_rng(0)
+        votes = simulate_2ifc_votes(stim("a", 1e-5), stim("b", 1e-5), 12, 8, rng)
+        assert votes.shape == (12,)
+        assert np.all((votes >= 0) & (votes <= 8))
+
+    def test_deterministic_given_rng(self):
+        a = simulate_2ifc_votes(
+            stim("a", 1e-5), stim("b", 2e-5), 10, 8, np.random.default_rng(3)
+        )
+        b = simulate_2ifc_votes(
+            stim("a", 1e-5), stim("b", 2e-5), 10, 8, np.random.default_rng(3)
+        )
+        assert np.array_equal(a, b)
+
+    def test_dominant_method_wins_most_votes(self):
+        rng = np.random.default_rng(1)
+        votes = simulate_2ifc_votes(stim("good", 1e-7), stim("bad", 1e-3), 20, 8, rng)
+        assert votes.mean() > 6.0
+
+
+class TestStudy:
+    @pytest.fixture()
+    def stimuli(self):
+        # Ours: same HVSQ, less flicker → slight preference for ours.
+        return {
+            scene: (stim("ours", 2e-5, 0.02), stim("baseline", 2e-5, 0.08))
+            for scene in ("room", "drjohnson", "truck", "bicycle")
+        }
+
+    def test_result_structure(self, stimuli):
+        result = run_user_study(stimuli, seed=0)
+        assert isinstance(result, UserStudyResult)
+        assert len(result.scenes) == 4
+        assert result.total_trials == 4 * 12 * 8
+
+    def test_no_worse_hypothesis_rejected(self, stimuli):
+        """Paper claim: binomial test rejects 'baseline preferred' at p<0.01."""
+        result = run_user_study(stimuli, seed=0)
+        assert result.ours_preference_rate >= 0.5
+        assert result.p_value < 0.01
+
+    def test_clearly_worse_method_fails_test(self):
+        stimuli = {
+            "room": (stim("ours", 5e-3, 0.0), stim("baseline", 1e-6, 0.0)),
+        }
+        result = run_user_study(stimuli, seed=0)
+        assert result.p_value > 0.5
+
+    def test_vote_accounting(self, stimuli):
+        result = run_user_study(stimuli, seed=1)
+        for scene in result.scenes:
+            assert np.all(scene.votes_ours + scene.votes_baseline == 8)
+            assert scene.mean_ours + scene.mean_baseline == pytest.approx(8.0)

@@ -1,0 +1,70 @@
+"""Tile Merge Unit: grouping semantics and balance improvement."""
+
+import numpy as np
+import pytest
+
+from repro.accel.tile_merge import auto_threshold, identity_merge, merge_tiles
+
+
+class TestMergeTiles:
+    def test_work_conserved(self):
+        counts = np.array([5.0, 3.0, 100.0, 2.0, 2.0, 50.0])
+        merged = merge_tiles(counts, threshold=10.0)
+        assert merged.group_counts.sum() == counts.sum()
+        assert merged.group_sizes.sum() == counts.size
+
+    def test_groups_contiguous_and_ordered(self):
+        counts = np.array([1.0, 1.0, 1.0, 20.0, 1.0])
+        merged = merge_tiles(counts, threshold=5.0)
+        assert np.all(np.diff(merged.group_of_tile) >= 0)
+
+    def test_small_tiles_merged(self):
+        counts = np.full(8, 1.0)
+        merged = merge_tiles(counts, threshold=4.0)
+        assert merged.num_groups == 2
+        assert np.all(merged.group_counts == 4.0)
+
+    def test_oversized_tile_gets_own_group(self):
+        counts = np.array([100.0, 1.0, 1.0])
+        merged = merge_tiles(counts, threshold=10.0)
+        assert merged.group_sizes[0] == 1
+        assert merged.group_counts[0] == 100.0
+
+    def test_threshold_never_exceeded_by_merging(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(1, 30, size=100).astype(float)
+        merged = merge_tiles(counts, threshold=40.0)
+        multi = merged.group_sizes > 1
+        assert np.all(merged.group_counts[multi] <= 40.0)
+
+    def test_merging_reduces_imbalance(self):
+        rng = np.random.default_rng(1)
+        counts = rng.exponential(scale=20.0, size=200)
+        base = identity_merge(counts)
+        merged = merge_tiles(counts, threshold=2.0 * counts.mean())
+        assert merged.imbalance() < base.imbalance()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            merge_tiles(np.array([1.0]), threshold=0.0)
+
+
+class TestIdentityMerge:
+    def test_one_group_per_tile(self):
+        counts = np.array([3.0, 7.0, 1.0])
+        merged = identity_merge(counts)
+        assert merged.num_groups == 3
+        assert np.array_equal(merged.group_counts, counts)
+
+
+class TestAutoThreshold:
+    def test_default_twice_mean(self):
+        counts = np.array([10.0, 20.0, 30.0])
+        assert auto_threshold(counts) == pytest.approx(40.0)
+
+    def test_target_groups(self):
+        counts = np.full(10, 10.0)
+        assert auto_threshold(counts, target_groups=5) == pytest.approx(20.0)
+
+    def test_empty_safe(self):
+        assert auto_threshold(np.array([])) == 1.0

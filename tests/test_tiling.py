@@ -1,0 +1,125 @@
+"""Tiling stage: grid geometry and tile–splat assignment."""
+
+import numpy as np
+import pytest
+
+from repro.splat.projection import project_gaussians
+from repro.splat.tiling import TileGrid, assign_tiles
+
+
+class TestTileGrid:
+    def test_counts_round_up(self):
+        grid = TileGrid(width=100, height=50, tile_size=16)
+        assert grid.tiles_x == 7
+        assert grid.tiles_y == 4
+        assert grid.num_tiles == 28
+
+    def test_tile_id_coords_round_trip(self):
+        grid = TileGrid(width=128, height=96, tile_size=16)
+        for tid in range(grid.num_tiles):
+            tx, ty = grid.tile_coords(tid)
+            assert grid.tile_id(tx, ty) == tid
+
+    def test_pixel_bounds_clipped_to_image(self):
+        grid = TileGrid(width=100, height=50, tile_size=16)
+        x0, y0, x1, y1 = grid.tile_pixel_bounds(grid.num_tiles - 1)
+        assert x1 <= 100 and y1 <= 50
+        assert x0 < x1 and y0 < y1
+
+    def test_bounds_tile_the_image_exactly(self):
+        grid = TileGrid(width=70, height=40, tile_size=16)
+        covered = np.zeros((40, 70), dtype=int)
+        for tid in range(grid.num_tiles):
+            x0, y0, x1, y1 = grid.tile_pixel_bounds(tid)
+            covered[y0:y1, x0:x1] += 1
+        assert np.all(covered == 1)
+
+    def test_centers_inside_image(self):
+        grid = TileGrid(width=70, height=40, tile_size=16)
+        centers = grid.tile_centers()
+        assert np.all(centers[:, 0] < 70)
+        assert np.all(centers[:, 1] < 40)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid(width=10, height=10, tile_size=0)
+        with pytest.raises(ValueError):
+            TileGrid(width=0, height=10, tile_size=16)
+
+
+class TestAssignment:
+    @pytest.fixture()
+    def assigned(self, small_scene, train_cameras):
+        camera = train_cameras[0]
+        projected = project_gaussians(small_scene, camera)
+        grid = TileGrid(width=camera.width, height=camera.height)
+        return projected, assign_tiles(projected, grid)
+
+    def test_offsets_are_csr(self, assigned):
+        _, assignment = assigned
+        offsets = assignment.tile_offsets
+        assert offsets[0] == 0
+        assert offsets[-1] == assignment.num_intersections
+        assert np.all(np.diff(offsets) >= 0)
+
+    def test_pairs_sorted_by_tile(self, assigned):
+        _, assignment = assigned
+        assert np.all(np.diff(assignment.pair_tiles) >= 0)
+
+    def test_matches_bbox_brute_force(self, assigned):
+        projected, assignment = assigned
+        grid = assignment.grid
+        ts = grid.tile_size
+        # Recompute the expected pair count splat by splat.
+        expected = 0
+        for i in range(projected.num_visible):
+            x, y = projected.means2d[i]
+            r = projected.radii[i]
+            tx0 = int(np.clip(np.floor((x - r) / ts), 0, grid.tiles_x - 1))
+            tx1 = int(np.clip(np.floor((x + r) / ts), 0, grid.tiles_x - 1))
+            ty0 = int(np.clip(np.floor((y - r) / ts), 0, grid.tiles_y - 1))
+            ty1 = int(np.clip(np.floor((y + r) / ts), 0, grid.tiles_y - 1))
+            expected += (tx1 - tx0 + 1) * (ty1 - ty0 + 1)
+        assert assignment.num_intersections == expected
+
+    def test_splats_in_tile_consistent(self, assigned):
+        _, assignment = assigned
+        total = sum(
+            assignment.splats_in_tile(t).size for t in range(assignment.grid.num_tiles)
+        )
+        assert total == assignment.num_intersections
+
+    def test_intersections_per_tile_sums(self, assigned):
+        _, assignment = assigned
+        per_tile = assignment.intersections_per_tile()
+        assert per_tile.shape == (assignment.grid.num_tiles,)
+        assert per_tile.sum() == assignment.num_intersections
+
+    def test_tiles_per_splat_total(self, assigned):
+        projected, assignment = assigned
+        per_splat = assignment.tiles_per_splat(projected.num_visible)
+        assert per_splat.sum() == assignment.num_intersections
+
+    def test_empty_projection(self, front_camera, small_scene):
+        model = small_scene.copy()
+        model.positions[:, 2] = -1000.0  # everything behind the camera
+        projected = project_gaussians(model, front_camera)
+        grid = TileGrid(width=front_camera.width, height=front_camera.height)
+        assignment = assign_tiles(projected, grid)
+        assert assignment.num_intersections == 0
+        assert np.all(assignment.intersections_per_tile() == 0)
+
+    def test_big_splat_touches_many_tiles(self, front_camera):
+        from repro.splat.gaussians import GaussianModel
+
+        model = GaussianModel(
+            positions=np.array([[0.0, 0.0, 0.0]]),
+            log_scales=np.log(np.full((1, 3), 2.0)),
+            rotations=np.array([[1.0, 0, 0, 0]]),
+            opacity_logits=np.array([3.0]),
+            sh=np.zeros((1, 1, 3)),
+        )
+        projected = project_gaussians(model, front_camera)
+        grid = TileGrid(width=front_camera.width, height=front_camera.height)
+        assignment = assign_tiles(projected, grid)
+        assert assignment.num_intersections > 1

@@ -1,0 +1,111 @@
+"""Training substrate: losses, Adam, and the fine-tuning loop."""
+
+import numpy as np
+import pytest
+
+from repro.train import Adam, TrainConfig, finetune, image_loss, l1_loss, l2_loss
+
+
+class TestLosses:
+    def test_l1_zero_on_identical(self):
+        img = np.random.default_rng(0).uniform(size=(8, 8, 3))
+        assert l1_loss(img, img) == 0.0
+
+    def test_l2_known_value(self):
+        a = np.zeros((2, 2, 3))
+        b = np.full((2, 2, 3), 0.5)
+        assert l2_loss(a, b) == pytest.approx(0.25)
+
+    def test_image_loss_gradient_finite_difference(self):
+        rng = np.random.default_rng(1)
+        rendered = rng.uniform(0.2, 0.8, size=(4, 5, 3))
+        target = rng.uniform(0.2, 0.8, size=(4, 5, 3))
+        loss, grad = image_loss(rendered, target, l1_weight=0.5)
+        eps = 1e-7
+        for idx in [(0, 0, 0), (2, 3, 1), (3, 4, 2)]:
+            bumped = rendered.copy()
+            bumped[idx] += eps
+            loss_p, _ = image_loss(bumped, target, l1_weight=0.5)
+            assert (loss_p - loss) / eps == pytest.approx(grad[idx], rel=1e-4)
+
+    def test_image_loss_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            image_loss(np.zeros((2, 2, 3)), np.zeros((3, 2, 3)))
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        params = {"x": np.array([5.0, -3.0])}
+        opt = Adam({"x": 0.1})
+        for _ in range(500):
+            opt.step(params, {"x": 2.0 * params["x"]})
+        assert np.allclose(params["x"], 0.0, atol=1e-3)
+
+    def test_zero_lr_freezes_parameter(self):
+        params = {"x": np.array([1.0]), "y": np.array([1.0])}
+        opt = Adam({"x": 0.1, "y": 0.0})
+        opt.step(params, {"x": np.array([1.0]), "y": np.array([1.0])})
+        assert params["x"][0] != 1.0
+        assert params["y"][0] == 1.0
+
+    def test_unknown_parameter_rejected(self):
+        opt = Adam({"x": 0.1})
+        with pytest.raises(KeyError):
+            opt.step({"x": np.zeros(1)}, {"z": np.zeros(1)})
+
+    def test_reset_clears_state(self):
+        params = {"x": np.array([1.0])}
+        opt = Adam({"x": 0.1})
+        opt.step(params, {"x": np.array([1.0])})
+        opt.reset()
+        assert opt._t == 0
+
+
+class TestFinetune:
+    def test_recovers_color_perturbation(self, small_scene, train_cameras, train_targets):
+        """Perturb DC colours, fine-tune, and verify the loss drops."""
+        perturbed = small_scene.copy()
+        rng = np.random.default_rng(5)
+        perturbed.sh[:, 0, :] += rng.normal(scale=0.15, size=(perturbed.num_points, 3))
+
+        config = TrainConfig(iterations=8, lr_sh_dc=0.05, lr_opacity=0.0, lr_log_scale=0.0)
+        result = finetune(perturbed, train_cameras[:2], train_targets[:2], config)
+        assert result.photometric[-1] < result.photometric[0] * 0.8
+
+    def test_regularizer_invoked_and_logged(self, small_scene, train_cameras, train_targets):
+        calls = []
+
+        def reg(model):
+            calls.append(1)
+            return 0.123, {"log_scales": np.zeros(model.num_points)}
+
+        config = TrainConfig(iterations=2)
+        result = finetune(
+            small_scene.copy(), train_cameras[:1], train_targets[:1], config, regularizer=reg
+        )
+        assert len(calls) == 2
+        assert result.regularizer == [0.123, 0.123]
+        assert result.total[0] == pytest.approx(result.photometric[0] + 0.123)
+
+    def test_mismatched_views_rejected(self, small_scene, train_cameras, train_targets):
+        with pytest.raises(ValueError):
+            finetune(small_scene.copy(), train_cameras[:2], train_targets[:1])
+
+    def test_empty_views_rejected(self, small_scene):
+        with pytest.raises(ValueError):
+            finetune(small_scene.copy(), [], [])
+
+    def test_unknown_regularizer_param_rejected(
+        self, small_scene, train_cameras, train_targets
+    ):
+        def reg(model):
+            return 0.0, {"positions": np.zeros((model.num_points, 3))}
+
+        with pytest.raises(KeyError):
+            finetune(
+                small_scene.copy(),
+                train_cameras[:1],
+                train_targets[:1],
+                TrainConfig(iterations=1),
+                regularizer=reg,
+            )

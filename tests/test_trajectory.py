@@ -1,0 +1,80 @@
+"""Camera trajectories: orbit poses and smooth interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import interpolate_trajectory, orbit_poses, scene_spec, trace_cameras
+from repro.scenes.trajectory import PAPER_TRAJECTORY_FPS, PAPER_TRAJECTORY_POSES
+
+
+class TestOrbit:
+    def test_pose_count(self):
+        spec = scene_spec("garden")
+        assert len(orbit_poses(spec, 6, 64, 48)) == 6
+
+    def test_cameras_look_inward(self):
+        spec = scene_spec("garden")
+        for cam in orbit_poses(spec, 8, 64, 48):
+            forward = cam.world_to_cam_rotation[2]
+            to_center = -cam.position / np.linalg.norm(cam.position)
+            assert forward @ to_center > 0.6
+
+    def test_orbit_radius_respected(self):
+        spec = scene_spec("bicycle")
+        for cam in orbit_poses(spec, 6, 64, 48, seed=3):
+            xz = np.linalg.norm([cam.position[0], cam.position[2]])
+            assert 0.8 * spec.extent < xz < 2.0 * spec.extent
+
+    def test_deterministic_per_seed(self):
+        spec = scene_spec("truck")
+        a = orbit_poses(spec, 4, 64, 48, seed=5)
+        b = orbit_poses(spec, 4, 64, 48, seed=5)
+        assert np.allclose(a[0].position, b[0].position)
+
+
+class TestInterpolation:
+    def test_needs_four_controls(self):
+        spec = scene_spec("room")
+        controls = orbit_poses(spec, 3, 64, 48)
+        with pytest.raises(ValueError):
+            interpolate_trajectory(controls, 10)
+
+    def test_produces_requested_poses(self):
+        spec = scene_spec("room")
+        controls = orbit_poses(spec, 6, 64, 48)
+        smooth = interpolate_trajectory(controls, 24)
+        assert len(smooth) == 24
+
+    def test_smoothness(self):
+        # Consecutive interpolated positions move in small steps.
+        spec = scene_spec("room")
+        controls = orbit_poses(spec, 8, 64, 48)
+        smooth = interpolate_trajectory(controls, 64)
+        positions = np.asarray([c.position for c in smooth])
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        control_gap = np.linalg.norm(controls[1].position - controls[0].position)
+        assert steps.max() < control_gap
+
+    def test_intrinsics_preserved(self):
+        spec = scene_spec("room")
+        controls = orbit_poses(spec, 5, 64, 48, fov_x_deg=80.0)
+        smooth = interpolate_trajectory(controls, 10)
+        assert smooth[0].fov_x_deg == pytest.approx(80.0)
+        assert smooth[0].width == 64
+
+
+class TestTraceCameras:
+    def test_returns_both_sets(self):
+        train, ev = trace_cameras("bonsai", n_train=5, n_eval=3, width=64, height=48)
+        assert len(train) == 5
+        assert len(ev) == 3
+
+    def test_sparse_training_set_ok(self):
+        # Fewer than 4 training poses still yields an eval trajectory.
+        train, ev = trace_cameras("bonsai", n_train=2, n_eval=2, width=64, height=48)
+        assert len(train) == 2
+        assert len(ev) == 2
+
+    def test_paper_constants(self):
+        assert PAPER_TRAJECTORY_POSES == 1440
+        assert PAPER_TRAJECTORY_POSES / PAPER_TRAJECTORY_FPS == pytest.approx(16.0)
