@@ -24,6 +24,12 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--width", type=int, default=128)
     parser.add_argument("--height", type=int, default=96)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="rasterization backend (packed|reference; default: "
+        "$REPRO_BACKEND or packed)",
+    )
 
 
 def cmd_traces(_args: argparse.Namespace) -> int:
@@ -174,6 +180,14 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        from .splat.backends import set_default_backend
+
+        try:
+            set_default_backend(args.backend)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return COMMANDS[args.command](args)
 
 

@@ -14,6 +14,11 @@ whole frame (the level-t point set is a subset of the level-1 set, so the
 sorted level-1 tile lists serve every level).  The multi-model baseline
 (MMFR) has no such sharing and re-runs projection per level —
 :func:`render_multi_model` charges that cost explicitly.
+
+Both functions are thin orchestrators: the pixel work is delegated to the
+rasterization backend selected by ``config.backend`` (see
+:mod:`repro.splat.backends`), which reuses the frame's packed intersection
+segments for level filtering and band blending instead of a per-tile loop.
 """
 
 from __future__ import annotations
@@ -22,10 +27,9 @@ import dataclasses
 
 import numpy as np
 
+from ..splat.backends import get_backend
 from ..splat.camera import Camera
 from ..splat.gaussians import GaussianModel
-from ..splat.projection import ALPHA_EPS
-from ..splat.rasterizer import ALPHA_CLAMP, composite, splat_alphas, tile_pixel_centers
 from ..splat.renderer import RenderConfig, prepare_view
 from .hierarchy import FoveatedModel
 from .regions import RegionLayout, RegionMaps, compute_region_maps
@@ -59,38 +63,6 @@ class FRRenderResult:
     maps: RegionMaps
 
 
-def _tile_blend_mask(
-    maps: RegionMaps, primary: int, second: int, bounds: tuple[int, int, int, int]
-) -> tuple[np.ndarray, np.ndarray, int, int]:
-    """Pixels of a tile that blend two levels.
-
-    Returns ``(mix mask (h, w), weight toward the outer level, lo, hi)``.
-    """
-    x0, y0, x1, y1 = bounds
-    lo, hi = (primary, second) if second > primary else (second, primary)
-    band = maps.band_level[y0:y1, x0:x1]
-    mix = (band == lo) & maps.needs_blend[y0:y1, x0:x1]
-    weight = maps.weight_next[y0:y1, x0:x1]
-    return mix, weight, lo, hi
-
-
-def _composite_masked(
-    base_exp: np.ndarray,
-    opacities: np.ndarray,
-    splat_mask: np.ndarray,
-    colors: np.ndarray,
-    background: np.ndarray,
-    pixel_mask: np.ndarray | None = None,
-) -> np.ndarray:
-    """Composite one quality level, optionally over a pixel subset."""
-    exp_term = base_exp if pixel_mask is None else base_exp[:, pixel_mask]
-    alphas = opacities[:, None] * exp_term
-    alphas = np.where(alphas < ALPHA_EPS, 0.0, np.minimum(alphas, ALPHA_CLAMP))
-    alphas = alphas * splat_mask[:, None]
-    pixel_colors, _, _ = composite(alphas, colors, background)
-    return pixel_colors
-
-
 def render_foveated(
     fmodel: FoveatedModel,
     camera: Camera,
@@ -106,81 +78,31 @@ def render_foveated(
     grid = assignment.grid
     maps = compute_region_maps(camera, grid, fmodel.layout, gaze)
 
-    bounds = fmodel.quality_bounds
     n_levels = fmodel.num_levels
     level_opacity = {t: fmodel.level_opacities(t) for t in range(1, n_levels + 1)}
     level_delta = {t: fmodel.level_color_delta(t) for t in range(1, n_levels + 1)}
 
-    image = np.empty((grid.height, grid.width, 3))
-    sort_ints = np.zeros(grid.num_tiles, dtype=np.int64)
-    raster_ints = np.zeros(grid.num_tiles, dtype=np.float64)
-    blend_pixels = 0
-    tile_pixels = grid.tile_size**2
-
-    for tile_id in range(grid.num_tiles):
-        splat_idx = assignment.splats_in_tile(tile_id)
-        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
-        pixels = tile_pixel_centers(grid, tile_id)
-        t = int(maps.tile_level[tile_id])
-        second = int(maps.tile_second_level[tile_id])
-
-        if splat_idx.size == 0:
-            image[y0:y1, x0:x1] = background
-            continue
-
-        pids = projected.point_ids[splat_idx]
-        # Filtering stage: points with quality bound below a level never
-        # reach sorting/rasterization for that level.
-        mask_primary = bounds[pids] >= t
-        sort_level = min(t, second) if second else t
-        sort_ints[tile_id] = int((bounds[pids] >= sort_level).sum())
-        raster_ints[tile_id] = float(mask_primary.sum())
-
-        _, quad = splat_alphas(projected, splat_idx, pixels)
-        base_exp = np.exp(-0.5 * quad)
-        shared_colors = projected.colors[splat_idx]
-
-        primary_img = _composite_masked(
-            base_exp,
-            level_opacity[t][pids],
-            mask_primary,
-            shared_colors + level_delta[t][pids],
-            background,
-        ).reshape(y1 - y0, x1 - x0, 3)
-
-        out = primary_img
-        if second:
-            mix, weight, lo, hi = _tile_blend_mask(maps, t, second, (x0, y0, x1, y1))
-            if mix.any():
-                mask_second = bounds[pids] >= second
-                second_img = _composite_masked(
-                    base_exp,
-                    level_opacity[second][pids],
-                    mask_second,
-                    shared_colors + level_delta[second][pids],
-                    background,
-                    pixel_mask=mix.ravel(),
-                )
-                lo_img = primary_img[mix] if t == lo else second_img
-                hi_img = second_img if t == lo else primary_img[mix]
-                w = weight[mix][:, None]
-                out = primary_img.copy()
-                out[mix] = (1.0 - w) * lo_img + w * hi_img
-                blend_pixels += int(mix.sum())
-                # Second-level pass touches only the band pixels.
-                raster_ints[tile_id] += mask_second.sum() * mix.sum() / tile_pixels
-        image[y0:y1, x0:x1] = out
+    engine = get_backend(config.backend)
+    frame = engine.foveated_frame(
+        projected,
+        assignment,
+        maps,
+        fmodel.quality_bounds,
+        level_opacity,
+        level_delta,
+        background,
+    )
 
     stats = FRRenderStats(
-        sort_intersections_per_tile=sort_ints,
-        raster_intersections_per_tile=raster_ints,
+        sort_intersections_per_tile=frame.sort_intersections_per_tile,
+        raster_intersections_per_tile=frame.raster_intersections_per_tile,
         tile_levels=maps.tile_level,
-        blend_pixels=blend_pixels,
+        blend_pixels=frame.blend_pixels,
         num_projected=projected.num_visible,
         projection_runs=1,
         num_points=fmodel.num_points,
     )
-    return FRRenderResult(image=np.clip(image, 0.0, 1.0), stats=stats, maps=maps)
+    return FRRenderResult(image=np.clip(frame.image, 0.0, 1.0), stats=stats, maps=maps)
 
 
 def render_multi_model(
@@ -205,55 +127,16 @@ def render_multi_model(
     grid = views[0][1].grid
     maps = compute_region_maps(camera, grid, layout, gaze)
 
-    image = np.empty((grid.height, grid.width, 3))
-    sort_ints = np.zeros(grid.num_tiles, dtype=np.int64)
-    raster_ints = np.zeros(grid.num_tiles, dtype=np.float64)
-    blend_pixels = 0
-    tile_pixels = grid.tile_size**2
-
-    for tile_id in range(grid.num_tiles):
-        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
-        pixels = tile_pixel_centers(grid, tile_id)
-        t = int(maps.tile_level[tile_id])
-        second = int(maps.tile_second_level[tile_id])
-
-        def _level_image(level: int, pixel_mask: np.ndarray | None) -> tuple[np.ndarray, int]:
-            projected, assignment = views[level - 1]
-            splat_idx = assignment.splats_in_tile(tile_id)
-            if splat_idx.size == 0:
-                n_px = pixels.shape[0] if pixel_mask is None else int(pixel_mask.sum())
-                return np.broadcast_to(background, (n_px, 3)).copy(), 0
-            px = pixels if pixel_mask is None else pixels[pixel_mask]
-            alphas, _ = splat_alphas(projected, splat_idx, px)
-            colors, _, _ = composite(alphas, projected.colors[splat_idx], background)
-            return colors, splat_idx.size
-
-        primary_flat, n_primary = _level_image(t, None)
-        sort_ints[tile_id] = n_primary
-        raster_ints[tile_id] = float(n_primary)
-        primary_img = primary_flat.reshape(y1 - y0, x1 - x0, 3)
-
-        out = primary_img
-        if second:
-            mix, weight, lo, hi = _tile_blend_mask(maps, t, second, (x0, y0, x1, y1))
-            if mix.any():
-                second_flat, n_second = _level_image(second, mix.ravel())
-                lo_img = primary_img[mix] if t == lo else second_flat
-                hi_img = second_flat if t == lo else primary_img[mix]
-                w = weight[mix][:, None]
-                out = primary_img.copy()
-                out[mix] = (1.0 - w) * lo_img + w * hi_img
-                blend_pixels += int(mix.sum())
-                raster_ints[tile_id] += n_second * mix.sum() / tile_pixels
-        image[y0:y1, x0:x1] = out
+    engine = get_backend(config.backend)
+    frame = engine.multi_model_frame(views, maps, background)
 
     stats = FRRenderStats(
-        sort_intersections_per_tile=sort_ints,
-        raster_intersections_per_tile=raster_ints,
+        sort_intersections_per_tile=frame.sort_intersections_per_tile,
+        raster_intersections_per_tile=frame.raster_intersections_per_tile,
         tile_levels=maps.tile_level,
-        blend_pixels=blend_pixels,
+        blend_pixels=frame.blend_pixels,
         num_projected=sum(v[0].num_visible for v in views),
         projection_runs=layout.num_levels,
         num_points=sum(m.num_points for m in level_models),
     )
-    return FRRenderResult(image=np.clip(image, 0.0, 1.0), stats=stats, maps=maps)
+    return FRRenderResult(image=np.clip(frame.image, 0.0, 1.0), stats=stats, maps=maps)

@@ -101,6 +101,7 @@ def finetune_level(
                 num_points=model.num_points,
                 background=background,
                 collect_stats=False,
+                backend=config.render.backend,
             )
             region = _level_region_grad_mask(camera, fmodel.layout, level, gaze)
             diff = image - target
@@ -113,6 +114,7 @@ def finetune_level(
                 num_points=model.num_points,
                 grad_image=grad_image,
                 background=background,
+                backend=config.render.backend,
             )
             opac = model.opacities
             grad_op += grads.opacity * opac * (1.0 - opac) / len(cameras)

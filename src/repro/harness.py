@@ -66,15 +66,21 @@ def setup_trace(
     n_eval: int = 2,
     fov_x_deg: float = 70.0,
     seed: int = 0,
+    backend: str | None = None,
 ) -> TraceSetup:
-    """Generate a trace and its ground-truth renders."""
+    """Generate a trace and its ground-truth renders.
+
+    ``backend`` selects the rasterization engine for the ground-truth
+    renders (``None`` defers to the process default / ``REPRO_BACKEND``).
+    """
     scene = generate_scene(name, n_points=n_points)
     train, eval_cams = trace_cameras(
         name, n_train=n_train, n_eval=n_eval, width=width, height=height,
         fov_x_deg=fov_x_deg, seed=seed,
     )
-    train_targets = [render(scene, c).image for c in train]
-    eval_targets = [render(scene, c).image for c in eval_cams]
+    config = RenderConfig(backend=backend)
+    train_targets = [render(scene, c, config).image for c in train]
+    eval_targets = [render(scene, c, config).image for c in eval_cams]
     return TraceSetup(
         name=name,
         scene=scene,
@@ -131,15 +137,17 @@ def measure_foveated(
     setup: TraceSetup,
     gpu: GPUModel | None = None,
     gaze: tuple[float, float] | None = None,
+    backend: str | None = None,
 ) -> MethodMeasurement:
     """Render a foveated model over the eval poses; quality is measured on
     the foveal (level-1) region as in the paper's Fig 13 protocol."""
     gpu = gpu or DEFAULT_GPU
     from .foveation.regions import region_masks
 
+    config = RenderConfig(backend=backend)
     workloads, psnrs, ssims, lpipss = [], [], [], []
     for camera, target in zip(setup.eval_cameras, setup.eval_targets):
-        result = render_foveated(fmodel, camera, gaze=gaze)
+        result = render_foveated(fmodel, camera, gaze=gaze, config=config)
         workloads.append(workload_from_fr(result.stats))
         fovea = region_masks(camera, fmodel.layout, gaze)[0]
         ref = np.where(fovea[:, :, None], target, 0.0)

@@ -1,0 +1,115 @@
+"""Pluggable rasterization backends for the render engine.
+
+Two engines ship with the repo:
+
+- ``packed`` (default): flattens all tile–splat intersections of a frame
+  into contiguous, depth-sorted segment arrays and runs compositing, stats
+  and the backward pass as whole-frame vectorized segment operations.
+- ``reference``: the original per-tile Python loop, kept as the regression
+  oracle — ``packed`` must match it to within 1e-10.
+
+Selection precedence (first match wins):
+
+1. an explicit ``backend=`` argument / ``RenderConfig.backend``,
+2. :func:`set_default_backend` (what ``--backend`` CLI flags call),
+3. the ``REPRO_BACKEND`` environment variable,
+4. the built-in default, ``packed``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from .base import FoveatedFrame, RasterBackend
+from .packed import PackedBackend
+from .reference import ReferenceBackend
+from .segments import (
+    QUAD_CUTOFF,
+    PackedSegments,
+    RowSpans,
+    SegmentIndex,
+    TileLaneGeometry,
+    build_row_spans,
+    build_segments,
+    segment_transmittance_exclusive,
+    segmented_cumsum_exclusive,
+    tile_lane_geometry,
+)
+
+DEFAULT_BACKEND = "packed"
+ENV_VAR = "REPRO_BACKEND"
+
+_REGISTRY: dict[str, Callable[[], RasterBackend]] = {
+    "packed": PackedBackend,
+    "reference": ReferenceBackend,
+}
+_instances: dict[str, RasterBackend] = {}
+_default_override: str | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_backend(name: str, factory: Callable[[], RasterBackend]) -> None:
+    """Register a custom backend under ``name`` (overwrites existing)."""
+    _REGISTRY[name] = factory
+    _instances.pop(name, None)
+
+
+def set_default_backend(name: str | None) -> None:
+    """Override the process-wide default backend (``None`` resets)."""
+    global _default_override
+    if name is not None and name not in _REGISTRY:
+        raise ValueError(
+            f"unknown rasterization backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    _default_override = name
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Apply the selection precedence, returning a backend name."""
+    return name or _default_override or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(backend: str | RasterBackend | None = None) -> RasterBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if backend is not None and not isinstance(backend, str):
+        return backend
+    name = resolve_backend_name(backend)
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown rasterization backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    if name not in _instances:
+        _instances[name] = _REGISTRY[name]()
+    return _instances[name]
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "FoveatedFrame",
+    "PackedBackend",
+    "PackedSegments",
+    "QUAD_CUTOFF",
+    "RasterBackend",
+    "ReferenceBackend",
+    "RowSpans",
+    "SegmentIndex",
+    "TileLaneGeometry",
+    "available_backends",
+    "build_row_spans",
+    "build_segments",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "segment_transmittance_exclusive",
+    "segmented_cumsum_exclusive",
+    "set_default_backend",
+    "tile_lane_geometry",
+]

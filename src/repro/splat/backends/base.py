@@ -1,0 +1,93 @@
+"""The rasterization backend protocol.
+
+A backend implements the four pixel-producing operations of the render
+engine — standard forward, analytic backward, foveated frame, and
+multi-model (MMFR) frame — over a projected splat set and its depth-sorted
+tile assignment.  Everything around those operations (stage prefix, stats
+assembly, clipping, region maps) lives in the callers, so backends stay
+interchangeable: ``reference`` is the per-tile loop kept for regression,
+``packed`` the vectorized segment engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..projection import ProjectedGaussians
+    from ..rasterizer import RasterGradients
+    from ..tiling import TileAssignment
+
+
+@dataclasses.dataclass
+class FoveatedFrame:
+    """Raw output of one foveated / multi-model frame (pre-clipping)."""
+
+    image: np.ndarray  # (H, W, 3), not yet clipped to [0, 1]
+    sort_intersections_per_tile: np.ndarray  # (T,) int64
+    raster_intersections_per_tile: np.ndarray  # (T,) float64
+    blend_pixels: int
+
+
+@runtime_checkable
+class RasterBackend(Protocol):
+    """Interchangeable rasterization engine."""
+
+    name: str
+
+    def forward(
+        self,
+        projected: "ProjectedGaussians",
+        assignment: "TileAssignment",
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Rasterize one frame.
+
+        Returns the (unclipped) ``(H, W, 3)`` image and, when
+        ``collect_stats``, the per-point dominated-pixel counts ``(N,)``.
+        """
+        ...
+
+    def backward(
+        self,
+        projected: "ProjectedGaussians",
+        assignment: "TileAssignment",
+        num_points: int,
+        grad_image: np.ndarray,
+        background: np.ndarray,
+    ) -> "RasterGradients":
+        """Propagate ``dL/dimage`` to per-point colour/opacity/log-scale."""
+        ...
+
+    def foveated_frame(
+        self,
+        projected: "ProjectedGaussians",
+        assignment: "TileAssignment",
+        maps: Any,
+        bounds: np.ndarray,
+        level_opacity: dict[int, np.ndarray],
+        level_delta: dict[int, np.ndarray],
+        background: np.ndarray,
+    ) -> FoveatedFrame:
+        """Render one foveated frame from a shared (subset-filtered) view.
+
+        ``maps`` is a :class:`repro.foveation.regions.RegionMaps`;
+        ``bounds`` the per-point quality bounds; ``level_opacity`` /
+        ``level_delta`` the per-level multi-versioned parameter tables.
+        """
+        ...
+
+    def multi_model_frame(
+        self,
+        views: list[tuple["ProjectedGaussians", "TileAssignment"]],
+        maps: Any,
+        background: np.ndarray,
+    ) -> FoveatedFrame:
+        """Render one MMFR frame from independently projected level models."""
+        ...

@@ -1,0 +1,312 @@
+"""Packed tile–splat intersection lists.
+
+The packed backend operates on one flattened, depth-sorted list of
+tile–splat intersections instead of a per-tile Python loop, at two
+granularities:
+
+- **Pair segments** (:class:`PackedSegments`): the raw ``(tile, splat)``
+  intersection pairs, contiguous per tile — the unit of the Sorting stage
+  and of per-tile statistics.
+- **Row spans** (:class:`RowSpans`): each pair expanded to the tile pixel
+  *rows* its ellipse can actually reach (a conservative per-axis Mahalanobis
+  bound), re-sorted to ``(tile, row, depth)`` order.  A span owns one
+  ``tile_size``-wide lane vector, so per-pixel fragment lists are contiguous
+  *groups* of spans and front-to-back compositing becomes a segmented scan
+  along axis 0 — vectorized over the whole frame, with work proportional to
+  the rasterized area rather than ``intersections × tile area``.
+
+Both structures exist so future batching/sharding can concatenate several
+frames' lists into one: every operation below is already expressed over
+flat, segment-indexed arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+
+from ..projection import ALPHA_EPS, ProjectedGaussians
+from ..tiling import TileAssignment, TileGrid
+
+# A splat cannot clear the ALPHA_EPS intersect test beyond this Mahalanobis
+# quadratic value even at opacity 1 (``exp(-q/2) < 1/255``); the margin keeps
+# the exact threshold decision on the computed alpha.
+QUAD_CUTOFF = -2.0 * float(np.log(ALPHA_EPS)) + 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class TileLaneGeometry:
+    """Per-tile pixel-lane layout of a grid.
+
+    A *lane* is one of the ``tile_size`` x-columns of a tile; edge tiles
+    mark lanes beyond the image width invalid.
+    """
+
+    grid: TileGrid
+    origin_x: np.ndarray  # (T,) tile pixel origin, float
+    origin_y: np.ndarray  # (T,)
+    lane_x: np.ndarray  # (ts,) lane centre offsets within a tile (l + 0.5)
+    lane_valid: np.ndarray  # (T, ts) lane inside the image width
+
+
+@functools.lru_cache(maxsize=16)
+def tile_lane_geometry(grid: TileGrid) -> TileLaneGeometry:
+    ts = grid.tile_size
+    ids = np.arange(grid.num_tiles, dtype=np.int64)
+    origin_x = (ids % grid.tiles_x) * ts
+    origin_y = (ids // grid.tiles_x) * ts
+    lanes = np.arange(ts, dtype=np.int64)
+    return TileLaneGeometry(
+        grid=grid,
+        origin_x=origin_x.astype(np.float64),
+        origin_y=origin_y.astype(np.float64),
+        lane_x=lanes + 0.5,
+        lane_valid=origin_x[:, None] + lanes[None, :] < grid.width,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentIndex:
+    """CSR-style index of contiguous segments along axis 0 of a flat array."""
+
+    starts: np.ndarray  # (S,) first row of each segment
+    lens: np.ndarray  # (S,)
+    of_item: np.ndarray  # (R,) segment id of every row
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.starts.shape[0])
+
+    @property
+    def last(self) -> np.ndarray:
+        """Row index of the final item of every segment, ``(S,)``."""
+        return self.starts + self.lens - 1
+
+    @staticmethod
+    def from_lengths(lens: np.ndarray) -> "SegmentIndex":
+        lens = np.asarray(lens, dtype=np.int64)
+        starts = np.zeros(lens.shape[0], dtype=np.int64)
+        if lens.size:
+            starts[1:] = np.cumsum(lens[:-1])
+        return SegmentIndex(
+            starts=starts,
+            lens=lens,
+            of_item=np.repeat(np.arange(lens.shape[0], dtype=np.int64), lens),
+        )
+
+
+def segmented_cumsum_exclusive(
+    values: np.ndarray, index: SegmentIndex, consume: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment exclusive cumulative sum of ``values`` along the last axis.
+
+    Returns ``(exclusive_cumsum, segment_totals)``.  One global ``cumsum``
+    re-centred at every segment boundary: the running total is reset by
+    subtracting the previous segment's (exactly re-computed) total, so
+    intermediate magnitudes — and with them the floating-point drift a naive
+    global scan accumulates across thousands of segments — stay bounded by a
+    single segment's range.
+
+    ``consume=True`` lets the scan scribble over ``values``.
+    """
+    totals = np.add.reduceat(values, index.starts, axis=-1)
+    adj = values if consume else values.copy()
+    if index.starts.size > 1:
+        adj[..., index.starts[1:]] -= totals[..., :-1]
+    np.cumsum(adj, axis=-1, out=adj)
+    excl = np.empty_like(adj)
+    excl[..., 0] = 0.0
+    excl[..., 1:] = adj[..., :-1]
+    # The shifted scan leaks the previous segment's (re-centred) running
+    # total into each segment's first slot; an exclusive scan starts at zero.
+    excl[..., index.starts] = 0.0
+    return excl, totals
+
+
+def segment_transmittance_exclusive(alphas: np.ndarray, index: SegmentIndex) -> np.ndarray:
+    """Front-to-back exclusive transmittance ``T_i = Π_{j<i} (1 − α_j)``.
+
+    Computed per segment (along the last axis) in log space; alphas are
+    clamped below 1, so the logs are finite (``log1p(0) = 0`` keeps zero
+    alphas out of the scan), and every segment starts at an exact 1.0.
+    """
+    log_one_minus = np.negative(alphas)
+    np.log1p(log_one_minus, out=log_one_minus)
+    log_excl, _ = segmented_cumsum_exclusive(log_one_minus, index, consume=True)
+    np.minimum(log_excl, 0.0, out=log_excl)
+    return np.exp(log_excl, out=log_excl)
+
+
+@dataclasses.dataclass
+class PackedSegments:
+    """Flattened intersection pairs, segmented by (non-empty) tile."""
+
+    geometry: TileLaneGeometry
+    pair_tiles: np.ndarray  # (K,)
+    pair_splats: np.ndarray  # (K,)
+    index: SegmentIndex  # segments = non-empty tiles
+    seg_tiles: np.ndarray  # (S,) tile id of each segment
+    tile_last_pair: np.ndarray  # (T,) last pair row of each tile (-1 if empty)
+
+    @property
+    def grid(self) -> TileGrid:
+        return self.geometry.grid
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.pair_tiles.shape[0])
+
+
+def build_segments(assignment: TileAssignment) -> PackedSegments:
+    """Pack a (depth-sorted) tile assignment into contiguous segments."""
+    counts = np.diff(assignment.tile_offsets)
+    nonempty = np.flatnonzero(counts > 0)
+    tile_last_pair = assignment.tile_offsets[1:].astype(np.int64) - 1
+    tile_last_pair[counts == 0] = -1
+    return PackedSegments(
+        geometry=tile_lane_geometry(assignment.grid),
+        pair_tiles=assignment.pair_tiles,
+        pair_splats=assignment.pair_splats,
+        index=SegmentIndex(
+            starts=assignment.tile_offsets[nonempty].astype(np.int64),
+            lens=counts[nonempty].astype(np.int64),
+            of_item=np.repeat(
+                np.arange(nonempty.size, dtype=np.int64), counts[nonempty]
+            ),
+        ),
+        seg_tiles=nonempty.astype(np.int64),
+        tile_last_pair=tile_last_pair,
+    )
+
+
+@dataclasses.dataclass
+class RowSpans:
+    """Pairs expanded to reachable pixel rows, in ``(tile, row, depth)`` order.
+
+    ``span_pair`` indexes back into the pair arrays; a *group* is the
+    contiguous run of spans covering one ``(tile, row)`` — i.e. the packed
+    per-pixel fragment lists of the row's ``tile_size`` pixels.  Rows a
+    splat's ellipse cannot reach (its alpha is below the intersect test at
+    every pixel of the row) carry no span at all, which is where the packed
+    engine's work savings come from.
+    """
+
+    seg: PackedSegments
+    span_pair: np.ndarray  # (R,) pair row of each span
+    span_tile: np.ndarray  # (R,)
+    span_y: np.ndarray  # (R,) global pixel row
+    groups: SegmentIndex  # segments = (tile, row) groups
+    group_tile: np.ndarray  # (Q,)
+    group_y: np.ndarray  # (Q,) global pixel row
+    group_has_tile_last: np.ndarray  # (Q,) last span is the tile's last pair
+
+    @property
+    def num_spans(self) -> int:
+        return int(self.span_pair.shape[0])
+
+    @property
+    def num_groups(self) -> int:
+        return self.groups.num_segments
+
+    def subset(self, tile_mask: np.ndarray) -> tuple["RowSpans", np.ndarray]:
+        """Restrict to selected tiles; also returns the kept-span row mask."""
+        keep_spans = tile_mask[self.span_tile]
+        keep_groups = tile_mask[self.group_tile]
+        return (
+            RowSpans(
+                seg=self.seg,
+                span_pair=self.span_pair[keep_spans],
+                span_tile=self.span_tile[keep_spans],
+                span_y=self.span_y[keep_spans],
+                groups=SegmentIndex.from_lengths(self.groups.lens[keep_groups]),
+                group_tile=self.group_tile[keep_groups],
+                group_y=self.group_y[keep_groups],
+                group_has_tile_last=self.group_has_tile_last[keep_groups],
+            ),
+            keep_spans,
+        )
+
+
+def build_row_spans(
+    projected: ProjectedGaussians, seg: PackedSegments, full_rows: bool = False
+) -> RowSpans:
+    """Expand intersection pairs into per-row spans, sorted per pixel row.
+
+    A row survives only if some pixel of it can pass the alpha intersect
+    test: minimising the Mahalanobis form over the x offset gives
+    ``q ≥ dy² / Σ_yy``, so rows with ``|dy| > sqrt(QUAD_CUTOFF · Σ_yy)`` are
+    provably below threshold everywhere (the dilated covariance ``Σ`` is the
+    inverse of the rasterized conic).  One guard row is kept on each side so
+    the exact threshold decision always happens on a computed alpha.
+
+    ``full_rows=True`` keeps every tile row for every pair (only clipped to
+    the image).  The per-pixel-sorted path needs this: its early-termination
+    gate sits at the per-pixel *deepest* tile splat, which the reach bound
+    could otherwise prune away.
+    """
+    grid = seg.grid
+    ts = grid.tile_size
+    geom = seg.geometry
+
+    my = projected.means2d[seg.pair_splats, 1]
+    tile_y0 = geom.origin_y[seg.pair_tiles]
+    if full_rows:
+        y_lo = tile_y0.astype(np.int64)
+        y_hi = np.minimum(tile_y0.astype(np.int64) + ts, grid.height) - 1
+    else:
+        cov_yy = projected.cov2d[seg.pair_splats, 2]
+        reach = np.sqrt(QUAD_CUTOFF * np.maximum(cov_yy, 0.0))
+        y_lo = np.floor(my - reach - 0.5).astype(np.int64)
+        y_hi = np.ceil(my + reach - 0.5).astype(np.int64)
+        y_lo = np.maximum(y_lo, tile_y0.astype(np.int64))
+        y_hi = np.minimum(
+            y_hi, np.minimum(tile_y0.astype(np.int64) + ts, grid.height) - 1
+        )
+    counts = np.maximum(y_hi - y_lo + 1, 0)
+
+    total = int(counts.sum())
+    span_pair = np.repeat(np.arange(seg.num_pairs, dtype=np.int64), counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+    span_y = np.repeat(y_lo, counts) + ramp
+    span_tile = seg.pair_tiles[span_pair]
+
+    # (tile, row) key — exact integers, so the stable sort keeps depth order
+    # within every pixel row.
+    key = span_tile * ts + (span_y - np.repeat(tile_y0.astype(np.int64), counts))
+    order = np.argsort(key, kind="stable")
+    span_pair = span_pair[order]
+    span_y = span_y[order]
+    span_tile = span_tile[order]
+    key = key[order]
+
+    if total:
+        starts = np.concatenate([[0], np.flatnonzero(np.diff(key)) + 1]).astype(np.int64)
+        lens = np.diff(np.concatenate([starts, [total]])).astype(np.int64)
+    else:
+        starts = np.empty(0, dtype=np.int64)
+        lens = np.empty(0, dtype=np.int64)
+    groups = SegmentIndex(
+        starts=starts,
+        lens=lens,
+        of_item=np.repeat(np.arange(starts.size, dtype=np.int64), lens),
+    )
+    group_tile = span_tile[starts] if total else np.empty(0, dtype=np.int64)
+    group_y = span_y[starts] if total else np.empty(0, dtype=np.int64)
+    has_last = (
+        span_pair[groups.last] == seg.tile_last_pair[group_tile]
+        if total
+        else np.empty(0, dtype=bool)
+    )
+    return RowSpans(
+        seg=seg,
+        span_pair=span_pair,
+        span_tile=span_tile,
+        span_y=span_y,
+        groups=groups,
+        group_tile=group_tile,
+        group_y=group_y,
+        group_has_tile_last=has_last,
+    )

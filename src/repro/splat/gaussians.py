@@ -28,11 +28,19 @@ BYTES_PER_FLOAT = 4
 
 
 def normalize_quaternions(quats: np.ndarray) -> np.ndarray:
-    """Return unit-norm copies of ``(N, 4)`` quaternions."""
+    """Return unit-norm copies of ``(N, 4)`` quaternions.
+
+    Components are pre-scaled by their largest magnitude so that squaring
+    cannot underflow to denormals (which would destroy the unit norm for
+    very small quaternions).
+    """
     quats = np.asarray(quats, dtype=np.float64)
-    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    scale = np.max(np.abs(quats), axis=1, keepdims=True)
+    scale = np.where(scale == 0.0, 1.0, scale)
+    scaled = quats / scale
+    norms = np.linalg.norm(scaled, axis=1, keepdims=True)
     norms = np.where(norms == 0.0, 1.0, norms)
-    return quats / norms
+    return scaled / norms
 
 
 def quaternions_to_matrices(quats: np.ndarray) -> np.ndarray:

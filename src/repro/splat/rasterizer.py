@@ -19,6 +19,13 @@ It also implements the analytic backward pass used for re-training after
 pruning: gradients of an image-space loss w.r.t. per-point colour, opacity,
 and an isotropic log-scale offset (the exact knobs scale decay and selective
 multi-versioning train).
+
+The pixel-producing loops themselves live in pluggable engines under
+:mod:`repro.splat.backends` — ``packed`` (whole-frame vectorized segment
+operations, the default) and ``reference`` (the per-tile loop, kept as the
+regression oracle).  :func:`rasterize` and :func:`rasterize_backward` are
+thin dispatchers; this module keeps the shared compositing math both
+backends (and their tests) build on.
 """
 
 from __future__ import annotations
@@ -93,6 +100,22 @@ def splat_alphas(
     return alphas, quad
 
 
+def _transmittance_weights(alphas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Front-to-back weights ``T_i α_i`` (after early termination) and the
+    per-pixel final transmittance of an ``(S, P)`` alpha matrix."""
+    s, p = alphas.shape
+    one_minus = 1.0 - alphas
+    trans_incl = np.cumprod(one_minus, axis=0)
+    trans_excl = np.vstack([np.ones((1, p)), trans_incl[:-1]])
+    active = trans_excl >= TRANSMITTANCE_EPS
+    weights = trans_excl * alphas * active
+    # Early-terminated pixels keep transmittance below the threshold —
+    # visually negligible; treat the leftover as zero contribution to the
+    # background.
+    final_trans = np.where(active[-1], trans_incl[-1], 0.0)
+    return weights, final_trans
+
+
 def composite(
     alphas: np.ndarray,
     colors: np.ndarray,
@@ -108,21 +131,31 @@ def composite(
         bg = np.broadcast_to(background, (p, 3)).copy()
         return bg, np.zeros((0, p)), np.ones(p)
 
-    one_minus = 1.0 - alphas
-    trans_incl = np.cumprod(one_minus, axis=0)
-    trans_excl = np.vstack([np.ones((1, p)), trans_incl[:-1]])
-    active = trans_excl >= TRANSMITTANCE_EPS
-    weights = trans_excl * alphas * active
-
-    final_trans = np.where(
-        active[-1], trans_incl[-1], np.maximum(trans_excl[-1] * one_minus[-1], 0.0)
-    )
-    # Early-terminated pixels keep the transmittance they had when they
-    # stopped, which is below the threshold — visually negligible; treat the
-    # leftover as zero contribution to the background.
-    final_trans = np.where(active[-1], final_trans, 0.0)
-
+    weights, final_trans = _transmittance_weights(alphas)
     pixel_colors = weights.T @ colors + final_trans[:, None] * background[None, :]
+    return pixel_colors, weights, final_trans
+
+
+def composite_per_pixel(
+    alphas: np.ndarray,
+    colors: np.ndarray,
+    background: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`composite`, but every pixel has its own colour ordering.
+
+    ``colors`` is ``(S, P, 3)``: the colour composited at slot ``(i, p)``.
+    Used by the per-pixel-sorted (StopThePop) path, where the alpha matrix is
+    depth-ordered per pixel column and the colours follow each column's
+    permutation.
+    """
+    s, p = alphas.shape
+    if s == 0:
+        bg = np.broadcast_to(background, (p, 3)).copy()
+        return bg, np.zeros((0, p)), np.ones(p)
+
+    weights, final_trans = _transmittance_weights(alphas)
+    pixel_colors = (weights[:, :, None] * colors).sum(axis=0)
+    pixel_colors += final_trans[:, None] * background[None, :]
     return pixel_colors, weights, final_trans
 
 
@@ -148,53 +181,25 @@ def rasterize(
     background: np.ndarray | None = None,
     collect_stats: bool = True,
     per_pixel_sort: bool = False,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, RenderStats | None]:
     """Rasterize all tiles into an ``(H, W, 3)`` image.
 
     ``assignment`` must already be depth-sorted (see
-    :func:`repro.splat.sorting.sort_tile_splats`).
+    :func:`repro.splat.sorting.sort_tile_splats`).  ``backend`` selects the
+    rasterization engine (see :mod:`repro.splat.backends`); ``None`` uses
+    the process default (``REPRO_BACKEND`` or ``packed``).
     """
-    grid = assignment.grid
+    from .backends import get_backend
+
     if background is None:
         background = np.zeros(3)
     background = np.asarray(background, dtype=np.float64)
 
-    image = np.empty((grid.height, grid.width, 3), dtype=np.float64)
-    dominated = np.zeros(num_points, dtype=np.int64)
-
-    for tile_id in range(grid.num_tiles):
-        splat_idx = assignment.splats_in_tile(tile_id)
-        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
-        pixels = tile_pixel_centers(grid, tile_id)
-
-        alphas, _ = splat_alphas(projected, splat_idx, pixels)
-        order = None
-        if per_pixel_sort and splat_idx.size:
-            alphas, order = _per_pixel_reorder(projected, splat_idx, pixels, alphas)
-
-        colors = projected.colors[splat_idx]
-        if order is not None:
-            # Colours must follow the per-pixel permutation: composite each
-            # pixel column with its own ordering.
-            pixel_colors = np.empty((pixels.shape[0], 3))
-            weights_max = np.zeros((splat_idx.size, pixels.shape[0]))
-            for p in range(pixels.shape[0]):
-                col_alphas = alphas[:, p : p + 1]
-                col_colors = colors[order[:, p]]
-                pc, w, _ = composite(col_alphas, col_colors, background)
-                pixel_colors[p] = pc[0]
-                weights_max[order[:, p], p] = w[:, 0]
-            weights = weights_max
-        else:
-            pixel_colors, weights, _ = composite(alphas, colors, background)
-
-        image[y0:y1, x0:x1] = pixel_colors.reshape(y1 - y0, x1 - x0, 3)
-
-        if collect_stats and splat_idx.size:
-            winners = np.argmax(weights, axis=0)
-            has_any = weights.max(axis=0) > 0.0
-            winner_points = projected.point_ids[splat_idx[winners[has_any]]]
-            np.add.at(dominated, winner_points, 1)
+    engine = get_backend(backend)
+    image, dominated = engine.forward(
+        projected, assignment, num_points, background, collect_stats, per_pixel_sort
+    )
 
     stats = None
     if collect_stats:
@@ -231,6 +236,7 @@ def rasterize_backward(
     num_points: int,
     grad_image: np.ndarray,
     background: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> RasterGradients:
     """Backward pass: propagate ``dL/dimage`` to per-point parameters.
 
@@ -245,49 +251,11 @@ def rasterize_backward(
     alpha then chains into opacity (``α = o e^{−q/2}``) and into the isotropic
     log-scale offset (``dq/du = −2q``, ignoring the constant screen dilation).
     """
-    grid = assignment.grid
+    from .backends import get_backend
+
     if background is None:
         background = np.zeros(3)
     background = np.asarray(background, dtype=np.float64)
 
-    grad_color = np.zeros((num_points, 3))
-    grad_opacity = np.zeros(num_points)
-    grad_log_scale = np.zeros(num_points)
-
-    for tile_id in range(grid.num_tiles):
-        splat_idx = assignment.splats_in_tile(tile_id)
-        if splat_idx.size == 0:
-            continue
-        x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
-        pixels = tile_pixel_centers(grid, tile_id)
-        g = grad_image[y0:y1, x0:x1].reshape(-1, 3)  # (P, 3)
-
-        alphas, quad = splat_alphas(projected, splat_idx, pixels)
-        one_minus = 1.0 - alphas
-        trans_incl = np.cumprod(one_minus, axis=0)
-        trans_excl = np.vstack([np.ones((1, pixels.shape[0])), trans_incl[:-1]])
-        active = trans_excl >= TRANSMITTANCE_EPS
-        weights = trans_excl * alphas * active
-        final_trans = np.where(active[-1], trans_incl[-1], 0.0)
-
-        colors = projected.colors[splat_idx]  # (S, 3)
-        gc = colors @ g.T  # (S, P): g·c_i per pixel
-        contrib = weights * gc  # (S, P): T_i α_i (g·c_i)
-
-        # Suffix sums S_i = Σ_{j>i} contrib_j + T_N (g·bg).
-        bg_term = final_trans * (g @ background)  # (P,)
-        suffix = np.cumsum(contrib[::-1], axis=0)[::-1]
-        suffix_after = np.vstack([suffix[1:], np.zeros((1, pixels.shape[0]))])
-        suffix_after = suffix_after + bg_term[None, :]
-
-        grad_alpha = trans_excl * gc - suffix_after / np.maximum(one_minus, 1e-6)
-        grad_alpha = grad_alpha * active * (alphas > 0.0) * (alphas < ALPHA_CLAMP)
-
-        # dα/do = e^{-q/2}; dα/du = α·q (since dq/du = -2q, dα/dq = -α/2).
-        exp_term = np.exp(-0.5 * quad)
-        pids = projected.point_ids[splat_idx]
-        np.add.at(grad_color, pids, weights @ g)
-        np.add.at(grad_opacity, pids, (grad_alpha * exp_term).sum(axis=1))
-        np.add.at(grad_log_scale, pids, (grad_alpha * alphas * quad).sum(axis=1))
-
-    return RasterGradients(color=grad_color, opacity=grad_opacity, log_scale=grad_log_scale)
+    engine = get_backend(backend)
+    return engine.backward(projected, assignment, num_points, grad_image, background)

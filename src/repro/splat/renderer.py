@@ -33,13 +33,19 @@ class RenderResult:
 
 @dataclasses.dataclass
 class RenderConfig:
-    """Renderer options (defaults reproduce vanilla 3DGS behaviour)."""
+    """Renderer options (defaults reproduce vanilla 3DGS behaviour).
+
+    ``backend`` selects the rasterization engine (``"packed"`` /
+    ``"reference"``, see :mod:`repro.splat.backends`); ``None`` defers to the
+    process default (``REPRO_BACKEND`` env var, else ``packed``).
+    """
 
     tile_size: int = DEFAULT_TILE_SIZE
     background: tuple[float, float, float] = (0.0, 0.0, 0.0)
     smoothing_3d: float = 0.0
     per_pixel_sort: bool = False
     collect_stats: bool = True
+    backend: str | None = None
 
 
 def prepare_view(
@@ -83,6 +89,7 @@ def render(
         background=np.asarray(config.background, dtype=np.float64),
         collect_stats=config.collect_stats,
         per_pixel_sort=config.per_pixel_sort,
+        backend=config.backend,
     )
     return RenderResult(image=image, stats=stats, projected=projected, assignment=assignment)
 

@@ -60,9 +60,14 @@ def sh_basis(directions: np.ndarray, degree: int) -> np.ndarray:
     directions = np.asarray(directions, dtype=np.float64)
     if directions.ndim != 2 or directions.shape[1] != 3:
         raise ValueError(f"directions must be (N, 3), got {directions.shape}")
-    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    # Pre-scale by the largest component so squaring cannot underflow to
+    # denormals (which would break unit normalization for tiny vectors).
+    scale = np.max(np.abs(directions), axis=1, keepdims=True)
+    scale = np.where(scale == 0.0, 1.0, scale)
+    d = directions / scale
+    norms = np.linalg.norm(d, axis=1, keepdims=True)
     norms = np.where(norms == 0.0, 1.0, norms)
-    d = directions / norms
+    d = d / norms
     x, y, z = d[:, 0], d[:, 1], d[:, 2]
 
     n = directions.shape[0]

@@ -70,6 +70,7 @@ def _model_step_grads(
         num_points=model.num_points,
         background=np.asarray(config.render.background),
         collect_stats=False,
+        backend=config.render.backend,
     )
     loss, grad_image = image_loss(image, target, l1_weight=config.l1_weight)
     raster_grads = rasterize_backward(
@@ -78,6 +79,7 @@ def _model_step_grads(
         num_points=model.num_points,
         grad_image=grad_image,
         background=np.asarray(config.render.background),
+        backend=config.render.backend,
     )
 
     opacities = model.opacities

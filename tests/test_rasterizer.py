@@ -133,6 +133,35 @@ class TestRasterize:
         assert np.array_equal(a, b)
 
 
+class TestEarlyTerminationTransmittance:
+    """Regression for the collapsed ``final_trans`` expression: pixels whose
+    transmittance crossed the early-termination threshold contribute nothing
+    to the background; pixels that never crossed keep the full product."""
+
+    def test_terminated_pixel_zero_surviving_pixel_product(self):
+        # Column 0 terminates (near-opaque stack); column 1 stays alive.
+        alphas = np.column_stack([np.full(10, 0.99), np.full(10, 0.05)])
+        colors = np.zeros((10, 3))
+        _, _, final_t = composite(alphas, colors, np.ones(3))
+        assert final_t[0] == 0.0
+        assert final_t[1] == pytest.approx((1.0 - 0.05) ** 10)
+
+    def test_terminated_pixel_ignores_background(self):
+        alphas = np.full((10, 1), 0.99)
+        colors = np.zeros((10, 3))
+        out, _, final_t = composite(alphas, colors, np.ones(3))
+        # Leftover transmittance below the threshold is treated as zero, so
+        # the (white) background must not leak into the (black) pixel.
+        assert final_t[0] == 0.0
+        assert np.all(out[0] < 0.2)
+
+    def test_alive_pixel_final_trans_is_running_product(self):
+        rng = np.random.default_rng(3)
+        alphas = rng.uniform(0.0, 0.2, size=(12, 9))
+        _, _, final_t = composite(alphas, np.zeros((12, 3)), np.zeros(3))
+        assert np.allclose(final_t, np.prod(1.0 - alphas, axis=0))
+
+
 class TestPerPixelSort:
     def test_runs_and_close_to_global_sort(self, small_scene, train_cameras):
         plain = render(small_scene, train_cameras[0]).image
@@ -140,3 +169,40 @@ class TestPerPixelSort:
         # Ordering differences only affect overlapping splats; images agree
         # closely but not necessarily exactly.
         assert np.mean(np.abs(plain - stp)) < 0.05
+
+    def test_vectorized_matches_per_column_loop(self, small_scene, train_cameras):
+        """The take_along_axis compositing must reproduce the old per-pixel
+        Python loop (composite one column at a time with its own colour
+        ordering) on a real view."""
+        from repro.splat.rasterizer import _per_pixel_reorder, composite_per_pixel
+
+        projected, assignment = prepare_view(small_scene, train_cameras[0])
+        grid = assignment.grid
+        background = np.array([0.1, 0.2, 0.3])
+        tiles = np.argsort(-assignment.intersections_per_tile())[:4]
+        for tile_id in tiles:
+            splat_idx = assignment.splats_in_tile(int(tile_id))
+            if splat_idx.size == 0:
+                continue
+            pixels = tile_pixel_centers(grid, int(tile_id))
+            alphas, _ = splat_alphas(projected, splat_idx, pixels)
+            alphas, order = _per_pixel_reorder(projected, splat_idx, pixels, alphas)
+            colors = projected.colors[splat_idx]
+
+            # New vectorized path.
+            pc_new, w_sorted, _ = composite_per_pixel(alphas, colors[order], background)
+            w_new = np.zeros_like(w_sorted)
+            np.put_along_axis(w_new, order, w_sorted, axis=0)
+
+            # Old loop (the seed implementation), column by column.
+            pc_old = np.empty((pixels.shape[0], 3))
+            w_old = np.zeros((splat_idx.size, pixels.shape[0]))
+            for p in range(pixels.shape[0]):
+                col_alphas = alphas[:, p : p + 1]
+                col_colors = colors[order[:, p]]
+                pc, w, _ = composite(col_alphas, col_colors, background)
+                pc_old[p] = pc[0]
+                w_old[order[:, p], p] = w[:, 0]
+
+            assert np.allclose(pc_new, pc_old, atol=1e-12)
+            assert np.allclose(w_new, w_old, atol=1e-12)
