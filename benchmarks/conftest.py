@@ -16,6 +16,21 @@ import repro
 from repro.baselines import build_baselines
 from repro.foveation import FRTrainConfig, build_foveated_model
 from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
+from repro.splat import ViewCache
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke-test scale: shrink benchmark workloads for CI",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return request.config.getoption("--quick")
 
 # Evaluation scale for all benchmarks.
 BENCH_WIDTH = 96
@@ -33,6 +48,9 @@ class BenchEnv:
         self._baselines: dict[tuple, dict] = {}
         self._l1: dict[str, object] = {}
         self._fr: dict[tuple, object] = {}
+        # Shared view-preparation cache: one PreparedView per (model, pose),
+        # reused across measurement repeats instead of re-projecting.
+        self.view_cache = ViewCache(maxsize=512)
 
     def setup(self, trace: str) -> repro.TraceSetup:
         if trace not in self._setups:

@@ -30,6 +30,13 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         help="rasterization backend (packed|reference; default: "
         "$REPRO_BACKEND or packed)",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="views per batched rasterization pass (default: all eval views "
+        "share one pass)",
+    )
 
 
 def cmd_traces(_args: argparse.Namespace) -> int:
@@ -51,17 +58,23 @@ def _setup(args: argparse.Namespace):
 
 
 def cmd_render(args: argparse.Namespace) -> int:
-    from .perf import DEFAULT_GPU, workload_from_render
-    from .splat import render
+    from .perf import DEFAULT_GPU, mean_workload, workload_from_render
+    from .splat import render_batch
 
     setup = _setup(args)
-    result = render(setup.scene, setup.eval_cameras[0])
-    stats = result.stats
-    fps = DEFAULT_GPU.fps(workload_from_render(result))
-    print(f"{args.trace}: {setup.scene.num_points} points")
-    print(f"projected splats: {stats.num_projected}")
-    print(f"tile intersections: {stats.total_intersections}")
-    print(f"mobile-GPU model: {fps:.1f} FPS")
+    results = render_batch(
+        setup.scene, setup.eval_cameras, batch_size=args.batch_size
+    )
+    stats = results[0].stats
+    fps = DEFAULT_GPU.fps(mean_workload([workload_from_render(r) for r in results]))
+    batch = args.batch_size or len(results)
+    print(
+        f"{args.trace}: {setup.scene.num_points} points, "
+        f"{len(results)} views (batch size {batch})"
+    )
+    print(f"projected splats: {stats.num_projected} (first view)")
+    print(f"tile intersections: {stats.total_intersections} (first view)")
+    print(f"mobile-GPU model: {fps:.1f} FPS (mean over views)")
     return 0
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..splat.camera import Camera
 from ..splat.gaussians import GaussianModel
-from ..splat.renderer import RenderConfig, render
+from ..splat.renderer import RenderConfig, ViewCache, render_batch
 
 
 @dataclasses.dataclass
@@ -50,16 +50,24 @@ def compute_ce(
     cameras: Sequence[Camera],
     config: RenderConfig | None = None,
     aggregate: str = "max",
+    batch_size: int | None = None,
+    cache: ViewCache | None = None,
 ) -> CEResult:
     """Compute CE for every point across the given training poses.
 
     ``aggregate`` is "max" (paper default) or "mean" (for the ablation that
-    motivates the max choice).
+    motivates the max choice).  Poses render through the batched
+    rasterization path in chunks of ``batch_size`` (default 16), with each
+    chunk's frames released before the next renders, so peak memory stays
+    bounded on large pose sets; a :class:`repro.splat.ViewCache` shares view
+    preparation with other consumers of the same (model, pose) pairs.
     """
     if not cameras:
         raise ValueError("need at least one camera")
     if aggregate not in ("max", "mean"):
         raise ValueError(f"aggregate must be 'max' or 'mean', got {aggregate!r}")
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive")
 
     n = model.num_points
     agg_ce = np.zeros(n)
@@ -67,17 +75,20 @@ def compute_ce(
     max_comp = np.zeros(n)
     intersections = 0.0
 
-    for camera in cameras:
-        result = render(model, camera, config)
-        stats = result.stats
-        ce = frame_ce(stats.dominated_pixels, stats.tiles_per_point)
-        if aggregate == "max":
-            agg_ce = np.maximum(agg_ce, ce)
-        else:
-            agg_ce += ce / len(cameras)
-        max_val = np.maximum(max_val, stats.dominated_pixels)
-        max_comp = np.maximum(max_comp, stats.tiles_per_point)
-        intersections += stats.total_intersections / len(cameras)
+    cameras = list(cameras)
+    step = batch_size or 16
+    for i in range(0, len(cameras), step):
+        chunk = render_batch(model, cameras[i : i + step], config, cache=cache)
+        for result in chunk:
+            stats = result.stats
+            ce = frame_ce(stats.dominated_pixels, stats.tiles_per_point)
+            if aggregate == "max":
+                agg_ce = np.maximum(agg_ce, ce)
+            else:
+                agg_ce += ce / len(cameras)
+            max_val = np.maximum(max_val, stats.dominated_pixels)
+            max_comp = np.maximum(max_comp, stats.tiles_per_point)
+            intersections += stats.total_intersections / len(cameras)
 
     return CEResult(
         ce=agg_ce,

@@ -30,7 +30,7 @@ import numpy as np
 from ..splat.backends import get_backend
 from ..splat.camera import Camera
 from ..splat.gaussians import GaussianModel
-from ..splat.renderer import RenderConfig, prepare_view
+from ..splat.renderer import PreparedView, RenderConfig, prepare_view
 from .hierarchy import FoveatedModel
 from .regions import RegionLayout, RegionMaps, compute_region_maps
 
@@ -68,13 +68,20 @@ def render_foveated(
     camera: Camera,
     gaze: tuple[float, float] | None = None,
     config: RenderConfig | None = None,
+    prepared: PreparedView | None = None,
 ) -> FRRenderResult:
-    """Render one foveated frame from a hierarchical subset model."""
+    """Render one foveated frame from a hierarchical subset model.
+
+    ``prepared`` reuses a cached view prefix for ``fmodel.base`` (e.g. a
+    :class:`repro.splat.ViewCache` entry) instead of re-projecting.
+    """
     config = config or RenderConfig()
     background = np.asarray(config.background, dtype=np.float64)
 
     # Projection + tiling + sorting run once on the full (L1) point set.
-    projected, assignment = prepare_view(fmodel.base, camera, config)
+    if prepared is None:
+        prepared = prepare_view(fmodel.base, camera, config)
+    projected, assignment = prepared
     grid = assignment.grid
     maps = compute_region_maps(camera, grid, fmodel.layout, gaze)
 

@@ -34,7 +34,7 @@ from .perf import (
     workload_from_render,
 )
 from .scenes import generate_scene, trace_cameras
-from .splat import Camera, GaussianModel, RenderConfig, render
+from .splat import Camera, GaussianModel, RenderConfig, ViewCache, render, render_batch
 
 # Region boundaries used throughout the repo's experiments.  The paper's
 # 0/18/27/33° assume a ~106°+ headset FOV; our evaluation cameras use 70°,
@@ -110,12 +110,25 @@ def measure_baseline(
     baseline: BaselineModel,
     setup: TraceSetup,
     gpu: GPUModel | None = None,
+    view_cache: ViewCache | None = None,
+    batch_size: int | None = None,
 ) -> MethodMeasurement:
-    """Render a baseline over the eval poses; report mean FPS and quality."""
+    """Render a baseline over the eval poses; report mean FPS and quality.
+
+    All eval poses go through one batched rasterization pass; ``view_cache``
+    additionally shares the projection/tiling/sorting prefix across repeated
+    measurements of the same (model, pose).
+    """
     gpu = gpu or DEFAULT_GPU
+    results = render_batch(
+        baseline.model,
+        setup.eval_cameras,
+        baseline.render_config,
+        batch_size=batch_size,
+        cache=view_cache,
+    )
     workloads, psnrs, ssims, lpipss = [], [], [], []
-    for camera, target in zip(setup.eval_cameras, setup.eval_targets):
-        result = render(baseline.model, camera, baseline.render_config)
+    for result, target in zip(results, setup.eval_targets):
         workloads.append(workload_from_render(result, baseline.render_config))
         psnrs.append(psnr(target, result.image))
         ssims.append(ssim(target, result.image))
@@ -138,16 +151,31 @@ def measure_foveated(
     gpu: GPUModel | None = None,
     gaze: tuple[float, float] | None = None,
     backend: str | None = None,
+    view_cache: ViewCache | None = None,
 ) -> MethodMeasurement:
     """Render a foveated model over the eval poses; quality is measured on
-    the foveal (level-1) region as in the paper's Fig 13 protocol."""
+    the foveal (level-1) region as in the paper's Fig 13 protocol.
+
+    ``view_cache`` shares the base model's view-preparation prefix across
+    repeated measurements of the same pose (the foveated pipeline projects
+    only the L1 point set, once per frame).
+    """
     gpu = gpu or DEFAULT_GPU
     from .foveation.regions import region_masks
 
     config = RenderConfig(backend=backend)
+    prepared_views = (
+        view_cache.get_batch(fmodel.base, setup.eval_cameras, config)
+        if view_cache is not None
+        else [None] * len(setup.eval_cameras)
+    )
     workloads, psnrs, ssims, lpipss = [], [], [], []
-    for camera, target in zip(setup.eval_cameras, setup.eval_targets):
-        result = render_foveated(fmodel, camera, gaze=gaze, config=config)
+    for camera, target, prepared in zip(
+        setup.eval_cameras, setup.eval_targets, prepared_views
+    ):
+        result = render_foveated(
+            fmodel, camera, gaze=gaze, config=config, prepared=prepared
+        )
         workloads.append(workload_from_fr(result.stats))
         fovea = region_masks(camera, fmodel.layout, gaze)[0]
         ref = np.where(fovea[:, :, None], target, 0.0)

@@ -36,9 +36,19 @@ from .rasterizer import (
     composite_per_pixel,
     rasterize,
     rasterize_backward,
+    rasterize_batch,
     splat_alphas,
 )
-from .renderer import RenderConfig, RenderResult, prepare_view, render, render_views
+from .renderer import (
+    PreparedView,
+    RenderConfig,
+    RenderResult,
+    ViewCache,
+    prepare_view,
+    render,
+    render_batch,
+    render_views,
+)
 from .sh import eval_sh, num_sh_coeffs, rgb_to_dc, sh_basis
 from .sorting import sort_cost_ops, sort_tile_splats
 from .tiling import DEFAULT_TILE_SIZE, TileAssignment, TileGrid, assign_tiles
@@ -46,6 +56,7 @@ from .tiling import DEFAULT_TILE_SIZE, TileAssignment, TileGrid, assign_tiles
 __all__ = [
     "Camera",
     "GaussianModel",
+    "PreparedView",
     "ProjectedGaussians",
     "RasterGradients",
     "RenderConfig",
@@ -53,6 +64,7 @@ __all__ = [
     "RenderStats",
     "TileAssignment",
     "TileGrid",
+    "ViewCache",
     "DEFAULT_TILE_SIZE",
     "assign_tiles",
     "available_backends",
@@ -67,7 +79,9 @@ __all__ = [
     "random_model",
     "rasterize",
     "rasterize_backward",
+    "rasterize_batch",
     "render",
+    "render_batch",
     "render_views",
     "rgb_to_dc",
     "set_default_backend",

@@ -29,9 +29,11 @@ from .segments import (
     PackedSegments,
     RowSpans,
     SegmentIndex,
+    SpanBatch,
     TileLaneGeometry,
     build_row_spans,
     build_segments,
+    concat_spans,
     segment_transmittance_exclusive,
     segmented_cumsum_exclusive,
     tile_lane_geometry,
@@ -101,10 +103,12 @@ __all__ = [
     "ReferenceBackend",
     "RowSpans",
     "SegmentIndex",
+    "SpanBatch",
     "TileLaneGeometry",
     "available_backends",
     "build_row_spans",
     "build_segments",
+    "concat_spans",
     "get_backend",
     "register_backend",
     "resolve_backend_name",

@@ -54,6 +54,24 @@ class RasterBackend(Protocol):
         """
         ...
 
+    def forward_batch(
+        self,
+        views: list[tuple["ProjectedGaussians", "TileAssignment"]],
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Rasterize several views of one model, one result tuple per view.
+
+        Views share a tile size but may differ in frame dimensions.  The
+        ``packed`` engine concatenates the views' span lists into a single
+        batch-segmented scan; ``reference`` falls back to a per-view loop.
+        Dispatchers treat this method as optional on custom backends and
+        loop over :meth:`forward` when it is missing.
+        """
+        ...
+
     def backward(
         self,
         projected: "ProjectedGaussians",

@@ -30,6 +30,7 @@ segmented scans and reductions run along the contiguous axis.
 from __future__ import annotations
 
 import functools
+import os
 from typing import Any
 
 import numpy as np
@@ -40,8 +41,10 @@ from ..tiling import TileAssignment, TileGrid
 from .base import FoveatedFrame
 from .segments import (
     RowSpans,
+    SpanBatch,
     build_row_spans,
     build_segments,
+    concat_spans,
     segment_transmittance_exclusive,
     segmented_cumsum_exclusive,
 )
@@ -235,10 +238,207 @@ def _dominated_counts(
     return dominated
 
 
+# Cache-residency budget of one batched scan, in spans.  A batch scan's
+# temporaries are ``(tile_size, R)``; once they outgrow the fast cache
+# levels every whole-batch operation streams from DRAM, which measured ~2x
+# slower per element than cache-resident per-view arrays.  8k spans keeps
+# each scan matrix around 1 MB (at the default 16-px tiles) — the best point
+# of a 6k–24k sweep across frame sizes and view counts — while still
+# amortizing the fixed per-frame kernel overhead across several views.
+# Tune per machine with ``REPRO_BATCH_SPAN_BUDGET``.
+SPAN_CHUNK_BUDGET = int(os.environ.get("REPRO_BATCH_SPAN_BUDGET", 8192))
+
+
+class _Workspace:
+    """Persistent scratch buffers for the batched span kernels.
+
+    A batch's ``(tile_size, R)`` temporaries run to several MB each; fresh
+    allocations of that size pay page faults on every first touch, which
+    measured ~2x on the whole batched pass.  Named slots are grown (with
+    headroom) when a batch outsizes them and sliced to shape otherwise, so
+    steady-state batched rendering touches only warm pages.  The backend is
+    a process-wide singleton, so slots live for the process; call
+    :meth:`trim` to drop them.
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        buf = self._slots.get(name)
+        if buf is None or buf.dtype != np.dtype(dtype) or buf.size < n:
+            buf = np.empty(n + (n >> 2) + 16, dtype=dtype)
+            self._slots[name] = buf
+        return buf[:n].reshape(shape)
+
+    def trim(self) -> None:
+        self._slots.clear()
+
+
+def _batch_pair_tables(
+    views: list[tuple[ProjectedGaussians, TileAssignment]],
+    spans_list: list[RowSpans],
+) -> tuple[np.ndarray, ...]:
+    """Concatenated per-pair gather tables aligned with a batch's pair rows.
+
+    One gather per view, so every later batch-wide lookup (means, conics,
+    colours, opacities, depths, point ids, tile x-origins) is a single flat
+    index into these tables regardless of which frame a span came from.
+    """
+    means, conics, opacities, colors, pids, origin_x, depths = (
+        [], [], [], [], [], [], []
+    )
+    for (projected, _), spans in zip(views, spans_list):
+        seg = spans.seg
+        sel = seg.pair_splats
+        means.append(projected.means2d[sel])
+        conics.append(projected.conics[sel])
+        opacities.append(projected.opacities[sel])
+        colors.append(projected.colors[sel])
+        pids.append(projected.point_ids[sel])
+        origin_x.append(seg.geometry.origin_x[seg.pair_tiles])
+        depths.append(projected.depths[sel])
+    return (
+        np.concatenate(means),
+        np.concatenate(conics),
+        np.concatenate(opacities),
+        np.concatenate(colors),
+        np.concatenate(pids),
+        np.concatenate(origin_x),
+        np.concatenate(depths),
+    )
+
+
+def _batch_span_quad(
+    batch: SpanBatch,
+    pair_means: np.ndarray,
+    pair_conics: np.ndarray,
+    pair_origin_x: np.ndarray,
+    tile_size: int,
+    ws: _Workspace,
+) -> np.ndarray:
+    """Mahalanobis quadratic form over a whole batch, ``(ts, R)``.
+
+    Same evaluation order as :func:`_span_quad` (every rewrite into a
+    workspace buffer commutes bitwise), so a batch of one view is
+    bit-identical to the unbatched forward pass.
+    """
+    sp = batch.span_pair
+    ts, k, r = tile_size, pair_means.shape[0], sp.shape[0]
+    lane_x = np.arange(ts, dtype=np.int64) + 0.5
+
+    dx_pair = ws.take("dx_pair", (ts, k))
+    np.add(lane_x[:, None], pair_origin_x[None, :], out=dx_pair)
+    dx_pair -= pair_means[None, :, 0]
+    dx = ws.take("dx", (ts, r))
+    np.take(dx_pair, sp, axis=1, out=dx, mode="clip")
+
+    dy = ws.take("dy", (r,))
+    np.add(batch.span_y, 0.5, out=dy)
+    gather = ws.take("conic_gather", (r,))
+    np.take(pair_means[:, 1], sp, out=gather, mode="clip")
+    dy -= gather
+
+    quad = ws.take("quad", (ts, r))
+    np.take(pair_conics[:, 1], sp, out=gather, mode="clip")
+    gather *= 2.0
+    np.multiply(gather[None, :], dx, out=quad)
+    quad *= dy[None, :]
+    np.multiply(dx, dx, out=dx)
+    np.take(pair_conics[:, 0], sp, out=gather, mode="clip")
+    dx *= gather[None, :]
+    quad += dx
+    np.take(pair_conics[:, 2], sp, out=gather, mode="clip")
+    dy *= dy
+    gather *= dy
+    quad += gather[None, :]
+    return np.maximum(quad, 0.0, out=quad)
+
+
+def _batch_span_alphas(
+    batch: SpanBatch, pair_opacities: np.ndarray, quad: np.ndarray, ws: _Workspace
+) -> np.ndarray:
+    """Alphas over a whole batch (cf. :func:`_span_alphas`), ``quad`` kept."""
+    alphas = ws.take("alphas", quad.shape)
+    np.multiply(quad, -0.5, out=alphas)
+    np.exp(alphas, out=alphas)
+    alphas *= pair_opacities[batch.span_pair][None, :]
+    keep = ws.take("keep", alphas.shape, np.bool_)
+    np.greater_equal(alphas, ALPHA_EPS, out=keep)
+    np.minimum(alphas, ALPHA_CLAMP, out=alphas)
+    alphas *= keep
+    return alphas
+
+
+def _batch_weights_final(
+    alphas: np.ndarray, batch: SpanBatch, ws: _Workspace
+) -> tuple[np.ndarray, np.ndarray]:
+    """Transmittance scan over a whole batch: ``(weights, final)``.
+
+    Inlines :func:`_weights_final` /
+    :func:`~repro.splat.backends.segments.segment_transmittance_exclusive`
+    with workspace buffers, in the exact same operation order.  Batch groups
+    are never empty (each view contributes only its non-empty ``(tile,
+    row)`` runs), so the scan needs no empty-segment widening.
+    """
+    groups = batch.groups
+    starts = groups.starts
+
+    logt = ws.take("logt", alphas.shape)
+    np.negative(alphas, out=logt)
+    np.log1p(logt, out=logt)
+    totals = ws.take("totals", alphas.shape[:-1] + (groups.num_segments,))
+    np.add.reduceat(logt, starts, axis=-1, out=totals)
+    if starts.size > 1:
+        logt[..., starts[1:]] -= totals[..., :-1]
+    np.cumsum(logt, axis=-1, out=logt)
+    excl = ws.take("excl", alphas.shape)
+    excl[..., 0] = 0.0
+    excl[..., 1:] = logt[..., :-1]
+    excl[..., starts] = 0.0
+    np.minimum(excl, 0.0, out=excl)
+    trans = np.exp(excl, out=excl)
+
+    last = groups.last
+    trans_last = trans[:, last].copy()
+    tau = trans_last * (1.0 - alphas[:, last])
+    gate = np.where(batch.group_has_tile_last[None, :], trans_last, tau)
+    final = np.where(gate >= TRANSMITTANCE_EPS, tau, 0.0)
+
+    active = ws.take("active", alphas.shape, np.bool_)
+    np.greater_equal(trans, TRANSMITTANCE_EPS, out=active)
+    weights = np.multiply(trans, alphas, out=trans)
+    weights *= active
+    return weights, final
+
+
+def _batch_per_pixel_permutation(
+    batch: SpanBatch, pair_depths: np.ndarray, quad: np.ndarray
+) -> np.ndarray:
+    """StopThePop ordering across a batch (cf. :func:`_per_pixel_permutation`).
+
+    The stable depth-then-group double sort permutes only within groups, and
+    group ids are strictly increasing across views, so each view's pixels get
+    exactly the ordering the unbatched path would produce.
+    """
+    base = pair_depths[batch.span_pair]
+    depths = base[None, :] * (1.0 + 0.01 * quad)
+    by_depth = np.argsort(depths, axis=-1, kind="stable")
+    groups_sorted = batch.groups.of_item[by_depth]
+    by_group = np.argsort(groups_sorted, axis=-1, kind="stable")
+    return np.take_along_axis(by_depth, by_group, axis=-1)
+
+
 class PackedBackend:
     """Flattened intersection-list engine (the default)."""
 
     name = "packed"
+
+    def __init__(self) -> None:
+        # Scratch buffers of the batched path, reused across calls (the
+        # backend is a process-wide singleton).
+        self._ws = _Workspace()
 
     def forward(
         self,
@@ -280,6 +480,160 @@ class PackedBackend:
         if collect_stats:
             dominated = _dominated_counts(projected, spans, weights, num_points, perm)
         return image, dominated
+
+    def forward_batch(
+        self,
+        views: list[tuple[ProjectedGaussians, TileAssignment]],
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Rasterize several views of one model in batch-segmented scans.
+
+        Per-view span lists concatenate into one batch (the grids may differ
+        as long as the tile size is shared), so alpha evaluation, the
+        transmittance scan, compositing and the Val_i statistics each run
+        once over all the batched frames; only the final scatter into each
+        frame and the cheap per-view span construction remain per view.
+        Scans are capped at :data:`SPAN_CHUNK_BUDGET` spans (several views'
+        worth) so the shared scan matrices stay cache-resident — one scan
+        over everything would stream every operation from DRAM.
+        """
+        if not views:
+            return []
+        sizes = {a.grid.tile_size for _, a in views}
+        if len(sizes) > 1:
+            raise ValueError(f"views must share one tile size, got {sorted(sizes)}")
+
+        # Chunks are built streaming — one view's spans at a time, flushed
+        # once the budget fills — so peak residency is one chunk's spans and
+        # tables (plus the caller's views), never the whole batch's.
+        results: list[tuple[np.ndarray, np.ndarray | None]] = []
+        chunk_views: list[tuple[ProjectedGaussians, TileAssignment]] = []
+        chunk_spans: list[RowSpans] = []
+        total = 0
+
+        def flush():
+            nonlocal chunk_views, chunk_spans, total
+            if chunk_views:
+                results.extend(
+                    self._forward_chunk(
+                        chunk_views, chunk_spans, num_points, background,
+                        collect_stats, per_pixel_sort,
+                    )
+                )
+            chunk_views, chunk_spans, total = [], [], 0
+
+        for view in views:
+            spans = build_row_spans(
+                view[0], build_segments(view[1]), full_rows=per_pixel_sort
+            )
+            if chunk_views and total + spans.num_spans > SPAN_CHUNK_BUDGET:
+                flush()
+            chunk_views.append(view)
+            chunk_spans.append(spans)
+            total += spans.num_spans
+        flush()
+        return results
+
+    def _forward_chunk(
+        self,
+        views: list[tuple[ProjectedGaussians, TileAssignment]],
+        spans_list: list[RowSpans],
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """One concatenated scan over a chunk of views."""
+        images = [_background_frame(a.grid, background) for _, a in views]
+        dominated: list[np.ndarray | None] = [
+            np.zeros(num_points, dtype=np.int64) if collect_stats else None
+            for _ in views
+        ]
+        batch = concat_spans(spans_list)  # validates the shared tile size
+        if batch.num_spans == 0:
+            return list(zip(images, dominated))
+
+        ts = views[0][1].grid.tile_size
+        ws = self._ws
+        (
+            pair_means,
+            pair_conics,
+            pair_opacities,
+            pair_colors,
+            pair_pids,
+            pair_origin_x,
+            pair_depths,
+        ) = _batch_pair_tables(views, spans_list)
+
+        quad = _batch_span_quad(
+            batch, pair_means, pair_conics, pair_origin_x, ts, ws
+        )
+        alphas = _batch_span_alphas(batch, pair_opacities, quad, ws)
+
+        perm = None
+        if per_pixel_sort:
+            perm = _batch_per_pixel_permutation(batch, pair_depths, quad)
+            alphas = np.take_along_axis(alphas, perm, axis=-1)
+
+        weights, final = _batch_weights_final(alphas, batch, ws)
+
+        # One compositing reduction over the whole batch, scattered per view.
+        starts = batch.groups.starts
+        r, q = batch.num_spans, batch.num_groups
+        span_colors = ws.take("span_colors", (r, 3))
+        np.take(pair_colors, batch.span_pair, axis=0, out=span_colors, mode="clip")
+        scratch = ws.take("scratch", weights.shape)
+        pixel = ws.take("pixel", (ts, q))
+        pixels = ws.take("pixels", (q, ts, 3))
+        for c in range(3):
+            channel = span_colors[:, c]
+            slot = channel[None, :] if perm is None else channel[perm]
+            np.multiply(weights, slot, out=scratch)
+            np.add.reduceat(scratch, starts, axis=-1, out=pixel)  # (ts, Q)
+            pixel += final * background[c]
+            pixels[:, :, c] = pixel.T
+        for v, spans in enumerate(spans_list):
+            if spans.num_groups == 0:
+                continue
+            idx, ok = _group_pixel_index(spans)
+            images[v].reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
+
+        if collect_stats:
+            wmax = ws.take("wmax", (ts, q))
+            np.maximum.reduceat(weights, starts, axis=-1, out=wmax)
+            ok_all = np.concatenate(
+                [s.seg.geometry.lane_valid[s.group_tile] for s in spans_list]
+            )  # (Q, ts)
+            has_any = (wmax > 0.0) & ok_all.T
+            # cand = where(weights == per-group max and > 0, span column, R):
+            # the winners minimum then resolves ties to the earliest span in
+            # depth order, exactly like the unbatched path.
+            is_max = ws.take("is_max", weights.shape, np.bool_)
+            gather = ws.take("wmax_gather", weights.shape)
+            np.take(wmax, batch.groups.of_item, axis=-1, out=gather, mode="clip")
+            np.equal(weights, gather, out=is_max)
+            positive = ws.take("positive", weights.shape, np.bool_)
+            np.greater(weights, 0.0, out=positive)
+            is_max &= positive
+            cand = ws.take("cand", weights.shape, np.int64)
+            cand[...] = r
+            orig_cols = (
+                np.arange(r, dtype=np.int64)[None, :] if perm is None else perm
+            )
+            np.copyto(cand, orig_cols, where=is_max)
+            winners = ws.take("winners", (ts, q), np.int64)
+            np.minimum.reduceat(cand, starts, axis=-1, out=winners)
+            for v in range(len(views)):
+                gsl = batch.view_groups(v)
+                sel = has_any[:, gsl]
+                if not sel.any():
+                    continue
+                winner_pairs = batch.span_pair[winners[:, gsl][sel]]
+                np.add.at(dominated[v], pair_pids[winner_pairs], 1)
+        return list(zip(images, dominated))
 
     def backward(
         self,

@@ -109,6 +109,23 @@ class ReferenceBackend:
 
         return image, dominated
 
+    def forward_batch(
+        self,
+        views: list[tuple[ProjectedGaussians, TileAssignment]],
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Loop-over-``forward`` fallback (the oracle has no shared work)."""
+        return [
+            self.forward(
+                projected, assignment, num_points, background, collect_stats,
+                per_pixel_sort,
+            )
+            for projected, assignment in views
+        ]
+
     def backward(
         self,
         projected: ProjectedGaussians,

@@ -15,9 +15,10 @@ granularities:
   along axis 0 — vectorized over the whole frame, with work proportional to
   the rasterized area rather than ``intersections × tile area``.
 
-Both structures exist so future batching/sharding can concatenate several
-frames' lists into one: every operation below is already expressed over
-flat, segment-indexed arrays.
+Every operation below is expressed over flat, segment-indexed arrays, so
+several frames' lists concatenate into one: :func:`concat_spans` builds a
+:class:`SpanBatch` whose segmented scans cover a whole multi-view batch
+(the batched ``forward_batch`` path of the packed backend).
 """
 
 from __future__ import annotations
@@ -109,8 +110,28 @@ def segmented_cumsum_exclusive(
     global scan accumulates across thousands of segments — stay bounded by a
     single segment's range.
 
+    Length-0 segments are allowed (they own no items and report a zero
+    total), as is an entirely empty index/value pair.
+
     ``consume=True`` lets the scan scribble over ``values``.
     """
+    totals_shape = values.shape[:-1] + (index.num_segments,)
+    if values.shape[-1] == 0 or index.num_segments == 0:
+        return np.zeros_like(values), np.zeros(totals_shape)
+    empty = index.lens == 0
+    if empty.any():
+        # ``reduceat`` misreads duplicated starts; scan the non-empty
+        # segments (which still cover every item) and widen the totals.
+        sub_lens = index.lens[~empty]
+        sub = SegmentIndex(
+            starts=index.starts[~empty],
+            lens=sub_lens,
+            of_item=np.repeat(np.arange(sub_lens.shape[0], dtype=np.int64), sub_lens),
+        )
+        excl, sub_totals = segmented_cumsum_exclusive(values, sub, consume=consume)
+        totals = np.zeros(totals_shape)
+        totals[..., ~empty] = sub_totals
+        return excl, totals
     totals = np.add.reduceat(values, index.starts, axis=-1)
     adj = values if consume else values.copy()
     if index.starts.size > 1:
@@ -227,6 +248,82 @@ class RowSpans:
             ),
             keep_spans,
         )
+
+
+@dataclasses.dataclass
+class SpanBatch:
+    """Several views' :class:`RowSpans` concatenated into one batch scan.
+
+    Pair rows of view ``v`` are shifted by ``pair_offsets[v]`` so the batch
+    owns one flat pair-index space; the per-view structures stay available
+    for the scatter back into each view's frame.  Group segments remain
+    non-empty and contiguous (empty views simply contribute no rows), so the
+    segmented-scan machinery above applies to the whole batch unchanged —
+    one alpha-eval / compositing / stats pass covers every frame.
+    """
+
+    views: list[RowSpans]
+    groups: SegmentIndex  # concatenated (view, tile, row) groups
+    group_has_tile_last: np.ndarray  # (Q,)
+    span_pair: np.ndarray  # (R,) rows into the batch-wide pair tables
+    span_y: np.ndarray  # (R,) pixel row within the owning view
+    span_offsets: np.ndarray  # (V + 1,) span range of each view
+    group_offsets: np.ndarray  # (V + 1,) group range of each view
+    pair_offsets: np.ndarray  # (V + 1,) pair range of each view
+
+    @property
+    def num_views(self) -> int:
+        return len(self.views)
+
+    @property
+    def num_spans(self) -> int:
+        return int(self.span_pair.shape[0])
+
+    @property
+    def num_groups(self) -> int:
+        return self.groups.num_segments
+
+    def view_groups(self, v: int) -> slice:
+        """Group range of view ``v`` in the concatenated arrays."""
+        return slice(int(self.group_offsets[v]), int(self.group_offsets[v + 1]))
+
+
+def concat_spans(spans_list: list[RowSpans]) -> SpanBatch:
+    """Concatenate several views' row spans into one segmented batch.
+
+    Views may have different grids (mixed frame sizes) but must share a tile
+    size, so every span owns the same ``tile_size``-wide lane vector and the
+    whole batch composites in a single ``(tile_size, R)`` scan.
+    """
+    if not spans_list:
+        raise ValueError("need at least one view to batch")
+    sizes = {s.seg.grid.tile_size for s in spans_list}
+    if len(sizes) > 1:
+        raise ValueError(f"views must share one tile size, got {sorted(sizes)}")
+
+    pair_offsets = np.zeros(len(spans_list) + 1, dtype=np.int64)
+    span_offsets = np.zeros(len(spans_list) + 1, dtype=np.int64)
+    group_offsets = np.zeros(len(spans_list) + 1, dtype=np.int64)
+    np.cumsum([s.seg.num_pairs for s in spans_list], out=pair_offsets[1:])
+    np.cumsum([s.num_spans for s in spans_list], out=span_offsets[1:])
+    np.cumsum([s.num_groups for s in spans_list], out=group_offsets[1:])
+
+    return SpanBatch(
+        views=list(spans_list),
+        groups=SegmentIndex.from_lengths(
+            np.concatenate([s.groups.lens for s in spans_list])
+        ),
+        group_has_tile_last=np.concatenate(
+            [s.group_has_tile_last for s in spans_list]
+        ),
+        span_pair=np.concatenate(
+            [s.span_pair + off for s, off in zip(spans_list, pair_offsets[:-1])]
+        ),
+        span_y=np.concatenate([s.span_y for s in spans_list]),
+        span_offsets=span_offsets,
+        group_offsets=group_offsets,
+        pair_offsets=pair_offsets,
+    )
 
 
 def build_row_spans(

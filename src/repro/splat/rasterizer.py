@@ -203,17 +203,72 @@ def rasterize(
 
     stats = None
     if collect_stats:
-        tiles_per_splat = assignment.tiles_per_splat(projected.num_visible)
-        tiles_per_point = np.zeros(num_points, dtype=np.int64)
-        np.add.at(tiles_per_point, projected.point_ids, tiles_per_splat)
-        stats = RenderStats(
-            intersections_per_tile=assignment.intersections_per_tile(),
-            tiles_per_point=tiles_per_point,
-            dominated_pixels=dominated,
-            num_projected=projected.num_visible,
-            num_points=num_points,
-        )
+        stats = _frame_stats(projected, assignment, num_points, dominated)
     return np.clip(image, 0.0, 1.0), stats
+
+
+def _frame_stats(
+    projected: ProjectedGaussians,
+    assignment: TileAssignment,
+    num_points: int,
+    dominated: np.ndarray | None,
+) -> RenderStats:
+    """Assemble the per-frame statistics every backend shares."""
+    tiles_per_splat = assignment.tiles_per_splat(projected.num_visible)
+    tiles_per_point = np.zeros(num_points, dtype=np.int64)
+    np.add.at(tiles_per_point, projected.point_ids, tiles_per_splat)
+    return RenderStats(
+        intersections_per_tile=assignment.intersections_per_tile(),
+        tiles_per_point=tiles_per_point,
+        dominated_pixels=dominated,
+        num_projected=projected.num_visible,
+        num_points=num_points,
+    )
+
+
+def rasterize_batch(
+    views: list[tuple[ProjectedGaussians, TileAssignment]],
+    num_points: int,
+    background: np.ndarray | None = None,
+    collect_stats: bool = True,
+    per_pixel_sort: bool = False,
+    backend: str | None = None,
+) -> list[tuple[np.ndarray, RenderStats | None]]:
+    """Rasterize several (depth-sorted) views of one model, one pass.
+
+    The batched entry point of the render engine: backends that implement
+    ``forward_batch`` (the ``packed`` default concatenates every view's span
+    list into one segmented scan) amortize alpha evaluation, compositing and
+    statistics across the whole batch; backends without it fall back to a
+    per-view :meth:`forward` loop.  Returns one ``(image, stats)`` tuple per
+    view, identical in meaning to :func:`rasterize`.
+    """
+    from .backends import get_backend
+
+    if background is None:
+        background = np.zeros(3)
+    background = np.asarray(background, dtype=np.float64)
+
+    engine = get_backend(backend)
+    forward_batch = getattr(engine, "forward_batch", None)
+    if forward_batch is not None:
+        raw = forward_batch(views, num_points, background, collect_stats, per_pixel_sort)
+    else:
+        raw = [
+            engine.forward(
+                projected, assignment, num_points, background, collect_stats,
+                per_pixel_sort,
+            )
+            for projected, assignment in views
+        ]
+
+    results = []
+    for (projected, assignment), (image, dominated) in zip(views, raw):
+        stats = None
+        if collect_stats:
+            stats = _frame_stats(projected, assignment, num_points, dominated)
+        results.append((np.clip(image, 0.0, 1.0), stats))
+    return results
 
 
 @dataclasses.dataclass

@@ -5,18 +5,25 @@ map directly to the baselines in the paper's evaluation:
 
 - ``smoothing_3d`` → Mip-Splatting's 3D smoothing filter,
 - ``per_pixel_sort`` → StopThePop's per-pixel ordered compositing.
+
+Multi-view consumers (trajectory evaluation, CE computation, the harness)
+render through :func:`render_batch`, which rasterizes many poses of one
+model in a single backend pass, and share the view-preparation prefix
+(projection, tiling, depth sorting) through :class:`ViewCache` so repeated
+measurements of the same (model, pose) never re-project.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 import numpy as np
 
 from .camera import Camera
 from .gaussians import GaussianModel
 from .projection import ProjectedGaussians, project_gaussians
-from .rasterizer import RenderStats, rasterize
+from .rasterizer import RenderStats, rasterize, rasterize_batch
 from .sorting import sort_tile_splats
 from .tiling import DEFAULT_TILE_SIZE, TileAssignment, TileGrid, assign_tiles
 
@@ -48,17 +55,41 @@ class RenderConfig:
     backend: str | None = None
 
 
+@dataclasses.dataclass
+class PreparedView:
+    """The render-prefix of one (model, pose): projected splats plus their
+    depth-sorted tile assignment.
+
+    Iterates and indexes like the ``(projected, assignment)`` tuple
+    :func:`prepare_view` used to return, so existing unpacking call sites
+    keep working.
+    """
+
+    projected: ProjectedGaussians
+    assignment: TileAssignment
+
+    def __iter__(self):
+        return iter((self.projected, self.assignment))
+
+    def __getitem__(self, i: int):
+        return (self.projected, self.assignment)[i]
+
+    def __len__(self) -> int:
+        return 2
+
+
 def prepare_view(
     model: GaussianModel,
     camera: Camera,
     config: RenderConfig | None = None,
     opacity_override: np.ndarray | None = None,
     color_override: np.ndarray | None = None,
-) -> tuple[ProjectedGaussians, TileAssignment]:
+) -> PreparedView:
     """Run Projection, Tiling and Sorting for one view (no rasterization).
 
     The foveated pipeline shares this prefix across quality levels (the
-    paper's key compute saving from subsetting: projection runs once).
+    paper's key compute saving from subsetting: projection runs once), and
+    :class:`ViewCache` shares it across repeated renders of one pose.
     """
     config = config or RenderConfig()
     projected = project_gaussians(
@@ -71,27 +102,189 @@ def prepare_view(
     grid = TileGrid(width=camera.width, height=camera.height, tile_size=config.tile_size)
     assignment = assign_tiles(projected, grid)
     assignment = sort_tile_splats(projected, assignment)
-    return projected, assignment
+    return PreparedView(projected=projected, assignment=assignment)
+
+
+def _model_key(model: GaussianModel) -> bytes:
+    """Content fingerprint of a model's parameters (robust to mutation)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for array in (
+        model.positions,
+        model.log_scales,
+        model.rotations,
+        model.opacity_logits,
+        model.sh,
+    ):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.digest()
+
+
+def _camera_key(camera: Camera) -> tuple:
+    return (
+        camera.width,
+        camera.height,
+        camera.fx,
+        camera.fy,
+        camera.cx,
+        camera.cy,
+        camera.near,
+        camera.far,
+        camera.world_to_cam_rotation.tobytes(),
+        camera.world_to_cam_translation.tobytes(),
+    )
+
+
+def _config_key(config: RenderConfig) -> tuple:
+    # Only the fields the view-preparation prefix depends on.
+    return (config.tile_size, config.smoothing_3d)
+
+
+class ViewCache:
+    """Memoizes :func:`prepare_view` per (model, pose, prepare-config).
+
+    Keys are content fingerprints — the model's parameter arrays, the
+    camera's geometry and the config fields that affect preparation — so a
+    cache survives model copies and fresh ``Camera`` objects, and a mutated
+    model (e.g. mid-finetuning) never serves stale projections.  ``hits`` /
+    ``misses`` make the sharing observable for tests and benchmarks.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, PreparedView] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        model: GaussianModel,
+        camera: Camera,
+        config: RenderConfig | None = None,
+    ) -> PreparedView:
+        """The prepared view for (model, camera), computing it on first use."""
+        return self.get_batch(model, [camera], config)[0]
+
+    def get_batch(
+        self,
+        model: GaussianModel,
+        cameras: list[Camera],
+        config: RenderConfig | None = None,
+    ) -> list[PreparedView]:
+        """Prepared views for many poses of one model.
+
+        The model fingerprint — an O(parameter-bytes) hash — is computed
+        once for the whole batch, not once per camera.
+        """
+        config = config or RenderConfig()
+        model_key = _model_key(model)
+        config_key = _config_key(config)
+        views = []
+        for camera in cameras:
+            key = (model_key, _camera_key(camera), config_key)
+            view = self._entries.get(key)
+            if view is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+                view = prepare_view(model, camera, config)
+                if len(self._entries) >= self.maxsize:
+                    self._entries.pop(next(iter(self._entries)))  # evict oldest
+                self._entries[key] = view
+            views.append(view)
+        return views
 
 
 def render(
     model: GaussianModel,
     camera: Camera,
     config: RenderConfig | None = None,
+    prepared: PreparedView | None = None,
 ) -> RenderResult:
-    """Render one frame with full statistics."""
+    """Render one frame with full statistics.
+
+    ``prepared`` skips the Projection/Tiling/Sorting prefix (e.g. a
+    :class:`ViewCache` entry); the caller is responsible for it matching
+    (model, camera, config).
+    """
     config = config or RenderConfig()
-    projected, assignment = prepare_view(model, camera, config)
+    if prepared is None:
+        prepared = prepare_view(model, camera, config)
     image, stats = rasterize(
-        projected,
-        assignment,
+        prepared.projected,
+        prepared.assignment,
         num_points=model.num_points,
         background=np.asarray(config.background, dtype=np.float64),
         collect_stats=config.collect_stats,
         per_pixel_sort=config.per_pixel_sort,
         backend=config.backend,
     )
-    return RenderResult(image=image, stats=stats, projected=projected, assignment=assignment)
+    return RenderResult(
+        image=image,
+        stats=stats,
+        projected=prepared.projected,
+        assignment=prepared.assignment,
+    )
+
+
+def render_batch(
+    model: GaussianModel,
+    cameras: list[Camera],
+    config: RenderConfig | None = None,
+    batch_size: int | None = None,
+    cache: ViewCache | None = None,
+) -> list[RenderResult]:
+    """Render many views of one model through the batched backend path.
+
+    View preparation still runs per pose (through ``cache`` when given), but
+    rasterization — alpha evaluation, the transmittance scan, compositing
+    and statistics — executes once per batch over the concatenated span
+    lists.  ``batch_size`` caps how many views share one scan (``None``
+    batches everything); results are identical to per-view :func:`render`
+    within the backend-equivalence tolerance, and bit-identical at batch
+    size 1.
+    """
+    config = config or RenderConfig()
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if not cameras:
+        return []
+
+    background = np.asarray(config.background, dtype=np.float64)
+    step = batch_size or len(cameras)
+    results: list[RenderResult] = []
+    for i in range(0, len(cameras), step):
+        # Preparation runs per chunk, so ``batch_size`` bounds the prepared
+        # working set too, not just the scan temporaries.
+        if cache is not None:
+            chunk = cache.get_batch(model, cameras[i : i + step], config)
+        else:
+            chunk = [
+                prepare_view(model, camera, config)
+                for camera in cameras[i : i + step]
+            ]
+        outputs = rasterize_batch(
+            [(view.projected, view.assignment) for view in chunk],
+            num_points=model.num_points,
+            background=background,
+            collect_stats=config.collect_stats,
+            per_pixel_sort=config.per_pixel_sort,
+            backend=config.backend,
+        )
+        for view, (image, stats) in zip(chunk, outputs):
+            results.append(
+                RenderResult(
+                    image=image,
+                    stats=stats,
+                    projected=view.projected,
+                    assignment=view.assignment,
+                )
+            )
+    return results
 
 
 def render_views(
@@ -99,5 +292,5 @@ def render_views(
     cameras: list[Camera],
     config: RenderConfig | None = None,
 ) -> list[RenderResult]:
-    """Render a list of views (training poses or a trajectory)."""
-    return [render(model, camera, config) for camera in cameras]
+    """Render a list of views (training poses or a trajectory), batched."""
+    return render_batch(model, cameras, config)

@@ -269,6 +269,74 @@ class TestBackendSelection:
             assert np.allclose(ia, ib, atol=TOL)
 
 
+class TestRowSpansSubset:
+    """``RowSpans.subset`` must keep span ordering and group offsets coherent.
+
+    Previously only exercised indirectly through foveated blend bands; the
+    batch path also relies on subset-produced spans concatenating cleanly.
+    """
+
+    @pytest.fixture(scope="class")
+    def spans(self):
+        from repro.splat.backends.segments import build_row_spans, build_segments
+
+        model = random_scene(3, n=300)
+        projected, assignment = prepare_view(model, camera())
+        spans = build_row_spans(projected, build_segments(assignment))
+        assert spans.num_spans > 0 and spans.num_groups > 10
+        return spans
+
+    @pytest.fixture(scope="class")
+    def subset(self, spans):
+        # Keep every other tile that actually carries spans.
+        num_tiles = spans.seg.grid.num_tiles
+        mask = np.zeros(num_tiles, dtype=bool)
+        mask[np.unique(spans.span_tile)[::2]] = True
+        sub, keep_spans = spans.subset(mask)
+        assert 0 < sub.num_spans < spans.num_spans
+        return mask, sub, keep_spans
+
+    def test_span_ordering_preserved(self, spans, subset):
+        mask, sub, keep_spans = subset
+        # The kept spans are exactly the masked rows, in original order.
+        assert np.array_equal(sub.span_pair, spans.span_pair[keep_spans])
+        assert np.array_equal(sub.span_tile, spans.span_tile[keep_spans])
+        assert np.array_equal(sub.span_y, spans.span_y[keep_spans])
+        # Still sorted by (tile, row) with stable depth order inside groups.
+        key = sub.span_tile * spans.seg.grid.tile_size + sub.span_y
+        assert np.all(np.diff(key) >= 0)
+
+    def test_group_offsets_consistent(self, spans, subset):
+        mask, sub, _ = subset
+        keep_groups = mask[spans.group_tile]
+        # Group lengths survive; offsets are recomputed densely.
+        assert np.array_equal(sub.groups.lens, spans.groups.lens[keep_groups])
+        assert np.array_equal(
+            sub.groups.starts, np.cumsum(sub.groups.lens) - sub.groups.lens
+        )
+        assert int(sub.groups.lens.sum()) == sub.num_spans
+        # Group metadata rows align with the groups' first spans.
+        assert np.array_equal(sub.group_tile, sub.span_tile[sub.groups.starts])
+        assert np.array_equal(sub.group_y, sub.span_y[sub.groups.starts])
+        assert np.array_equal(
+            sub.group_has_tile_last, spans.group_has_tile_last[keep_groups]
+        )
+
+    def test_subset_concatenates_cleanly(self, spans, subset):
+        from repro.splat.backends.segments import concat_spans
+
+        mask, sub, _ = subset
+        inverse, _ = spans.subset(~mask)
+        batch = concat_spans([sub, inverse])
+        assert batch.num_spans == spans.num_spans
+        assert batch.num_groups == spans.num_groups
+        # from_lengths over the concatenated group lens reproduces each
+        # view's internal offsets, shifted by the view's span offset.
+        for v, part in enumerate(batch.views):
+            got = batch.groups.starts[batch.view_groups(v)]
+            assert np.array_equal(got, part.groups.starts + batch.span_offsets[v])
+
+
 class TestSceneEquivalenceAtScale:
     def test_generated_scene_256(self):
         scene = generate_scene("garden", n_points=800)

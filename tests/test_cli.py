@@ -24,6 +24,11 @@ class TestParser:
         args = build_parser().parse_args(["prune", "room", "--fraction", "0.3"])
         assert args.fraction == 0.3
 
+    def test_batch_size_flag(self):
+        args = build_parser().parse_args(["render", "garden", "--batch-size", "2"])
+        assert args.batch_size == 2
+        assert build_parser().parse_args(["render", "garden"]).batch_size is None
+
 
 class TestCommands:
     def test_traces(self, capsys):
@@ -37,6 +42,13 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "tile intersections" in out and "FPS" in out
+
+    def test_render_with_batch_size(self, capsys):
+        code = main(["render", "bonsai", "--points", "200", "--width", "64",
+                     "--height", "48", "--batch-size", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch size 1" in out and "FPS" in out
 
     def test_prune(self, capsys):
         code = main(["prune", "bonsai", "--points", "200", "--width", "64",

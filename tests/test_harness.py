@@ -46,6 +46,31 @@ class TestMeasurement:
         l1 = quick_l1_model(setup, dense, keep_fraction=0.4)
         assert l1.num_points == int(dense.model.num_points * 0.4)
 
+    def test_measure_baseline_reuses_prepared_views(self, setup, dense):
+        # Repeated measurements of one (model, pose) set hit the view cache
+        # instead of re-projecting — the bench_fig03 repeat pattern.
+        cache = repro.splat.ViewCache()
+        first = repro.measure_baseline(dense, setup, view_cache=cache)
+        assert cache.misses == len(setup.eval_cameras)
+        assert cache.hits == 0
+        second = repro.measure_baseline(dense, setup, view_cache=cache)
+        assert cache.hits == len(setup.eval_cameras)
+        assert cache.misses == len(setup.eval_cameras)
+        assert second.fps == first.fps
+        assert second.psnr == first.psnr
+
+    def test_measure_foveated_reuses_prepared_views(self, setup, dense):
+        from repro.foveation import uniform_foveated_model
+        from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+
+        l1 = quick_l1_model(setup, dense, keep_fraction=0.4)
+        fmodel = uniform_foveated_model(l1, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
+        cache = repro.splat.ViewCache()
+        repro.measure_foveated("u", fmodel, setup, view_cache=cache)
+        repro.measure_foveated("u", fmodel, setup, view_cache=cache)
+        assert cache.misses == len(setup.eval_cameras)
+        assert cache.hits == len(setup.eval_cameras)
+
     def test_build_and_measure_metasapiens(self, setup):
         models = repro.build_metasapiens(
             setup, variant="L", prune_rounds=2, finetune_iterations=1

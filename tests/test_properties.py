@@ -16,6 +16,11 @@ from repro.splat.gaussians import (
     random_model,
     sigmoid,
 )
+from repro.splat.backends.segments import (
+    SegmentIndex,
+    segment_transmittance_exclusive,
+    segmented_cumsum_exclusive,
+)
 from repro.splat.rasterizer import composite
 from repro.splat.sh import sh_basis
 from repro.splat.tiling import TileGrid
@@ -197,6 +202,102 @@ class TestTileGridProperties:
             assert 0 <= y0 < y1 <= height
             area += (x1 - x0) * (y1 - y0)
         assert area == width * height
+
+
+# Segment length vectors: empty batches, empty segments, and singletons all
+# occur in practice once several views concatenate into one batch scan.
+segment_lens = hnp.arrays(
+    np.int64, st.integers(0, 12), elements=st.integers(0, 6)
+)
+
+
+def _naive_exclusive_cumsum(values, lens):
+    """Per-segment exclusive scan + totals via an explicit Python loop."""
+    excl = np.zeros_like(values)
+    totals = np.zeros(values.shape[:-1] + (lens.shape[0],))
+    start = 0
+    for s, n in enumerate(lens):
+        seg = values[..., start : start + n]
+        excl[..., start : start + n] = np.cumsum(seg, axis=-1) - seg
+        totals[..., s] = seg.sum(axis=-1)
+        start += n
+    return excl, totals
+
+
+class TestSegmentIndexProperties:
+    @given(lens=segment_lens)
+    @settings(max_examples=60, deadline=None)
+    def test_from_lengths_invariants(self, lens):
+        index = SegmentIndex.from_lengths(lens)
+        total = int(lens.sum())
+        assert index.num_segments == lens.shape[0]
+        assert np.array_equal(index.lens, lens)
+        # Starts are the exclusive prefix sum of the lengths.
+        assert np.array_equal(index.starts, np.cumsum(lens) - lens)
+        # of_item covers every row, in segment order, matching the lengths.
+        assert index.of_item.shape == (total,)
+        assert np.all(np.diff(index.of_item) >= 0)
+        assert np.array_equal(
+            np.bincount(index.of_item, minlength=lens.shape[0]), lens
+        )
+
+    @given(lens=segment_lens, seed=st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_cumsum_matches_naive(self, lens, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=int(lens.sum()))
+        index = SegmentIndex.from_lengths(lens)
+        excl, totals = segmented_cumsum_exclusive(values, index)
+        naive_excl, naive_totals = _naive_exclusive_cumsum(values, lens)
+        assert np.allclose(excl, naive_excl, atol=1e-12)
+        assert np.allclose(totals, naive_totals, atol=1e-12)
+        # Empty segments own no items and report an exact zero total.
+        assert np.all(totals[lens == 0] == 0.0)
+
+    @given(lens=segment_lens, seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_cumsum_2d_lanes(self, lens, seed):
+        """The scan runs along the last axis of a lanes-first matrix."""
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(3, int(lens.sum())))
+        index = SegmentIndex.from_lengths(lens)
+        excl, totals = segmented_cumsum_exclusive(values, index)
+        naive_excl, naive_totals = _naive_exclusive_cumsum(values, lens)
+        assert np.allclose(excl, naive_excl, atol=1e-12)
+        assert np.allclose(totals, naive_totals, atol=1e-12)
+
+    @given(lens=segment_lens, seed=st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_transmittance_matches_naive_cumprod(self, lens, seed):
+        rng = np.random.default_rng(seed)
+        alphas = rng.uniform(0.0, 0.999, size=int(lens.sum()))
+        index = SegmentIndex.from_lengths(lens)
+        trans = segment_transmittance_exclusive(alphas.copy(), index)
+        start = 0
+        for n in lens:
+            seg = alphas[start : start + n]
+            naive = np.concatenate([[1.0], np.cumprod(1.0 - seg)[:-1]])
+            assert np.allclose(trans[start : start + n], naive, atol=1e-12)
+            start += n
+        # Every segment starts at an exact 1.0 and never exceeds it.
+        if index.starts.size and alphas.size:
+            nonzero = index.lens > 0
+            assert np.all(trans[index.starts[nonzero]] == 1.0)
+        assert np.all((trans >= 0.0) & (trans <= 1.0))
+
+    def test_length_zero_batch(self):
+        index = SegmentIndex.from_lengths(np.empty(0, dtype=np.int64))
+        excl, totals = segmented_cumsum_exclusive(np.empty(0), index)
+        assert excl.shape == (0,)
+        assert totals.shape == (0,)
+        trans = segment_transmittance_exclusive(np.empty(0), index)
+        assert trans.shape == (0,)
+
+    def test_all_segments_empty(self):
+        index = SegmentIndex.from_lengths(np.zeros(4, dtype=np.int64))
+        excl, totals = segmented_cumsum_exclusive(np.empty(0), index)
+        assert excl.shape == (0,)
+        assert np.array_equal(totals, np.zeros(4))
 
 
 class TestSigmoidProperties:
