@@ -27,6 +27,7 @@ from .energy import (
 )
 from .pipeline_sim import PipelineResult, simulate_pipeline, stage_cycles
 from .scale import GPU_EFFECTIVE_GOPS, WORKLOAD_SCALE
+from .spans import spans_to_tile_counts
 from .tile_merge import MergedTiles, auto_threshold, identity_merge, merge_tiles
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "reference_areas",
     "run_accelerator",
     "simulate_pipeline",
+    "spans_to_tile_counts",
     "sram_kb",
     "sram_pj_per_byte",
     "stage_cycles",

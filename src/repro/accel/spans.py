@@ -1,0 +1,49 @@
+"""Bridge from the render engine's span lists to the accelerator model.
+
+:func:`repro.accel.pipeline_sim.simulate_pipeline` is driven by a per-tile
+workload array.  Historically that array was the tiling stage's
+*intersection* counts — a synthetic aggregate that charges every
+tile–splat pair the full tile area.  The packed render engine knows
+better: its :class:`~repro.splat.backends.segments.RowSpans` carry exactly
+the per-row fragments the paper's Sorting/Rasterization stages stream, so
+the accelerator simulator can be fed the rasterized workload a real frame
+actually produces.
+
+:func:`spans_to_tile_counts` is that adapter.  In ``units="spans"`` it
+returns the raw span-row count per tile (each span is one
+``tile_size``-wide lane vector of work); ``units="intersections"`` divides
+by the tile's row count, yielding tile-equivalent units directly
+comparable to — and on realistic footprints smaller than — the synthetic
+``intersections_per_tile`` aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..splat.backends.segments import RowSpans
+
+
+def spans_to_tile_counts(
+    spans: RowSpans, units: str = "intersections"
+) -> np.ndarray:
+    """Per-tile rasterization workload from real row-span fragments.
+
+    Returns a ``(num_tiles,)`` float array aligned with the span list's
+    tile grid (zero for tiles no span reaches), suitable for
+    :func:`repro.accel.pipeline_sim.simulate_pipeline`.
+
+    ``units="spans"`` counts span rows per tile; ``units="intersections"``
+    (default) rescales by the rows-per-tile so the numbers live in the
+    same tile-equivalent units as ``TileAssignment.intersections_per_tile``
+    — a splat whose ellipse reaches only 3 of a 16-row tile then costs
+    3/16 of a synthetic intersection, which is exactly the work-
+    proportionality the paper's rate-matched pipeline exploits.
+    """
+    grid = spans.seg.grid
+    counts = np.bincount(spans.span_tile, minlength=grid.num_tiles).astype(np.float64)
+    if units == "spans":
+        return counts
+    if units == "intersections":
+        return counts / float(grid.tile_size)
+    raise ValueError(f"unknown units {units!r}; expected 'spans' or 'intersections'")

@@ -27,8 +27,14 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         default=None,
-        help="rasterization backend (packed|reference; default: "
-        "$REPRO_BACKEND or packed)",
+        help="rasterization backend, or 'list' to print the registry "
+        "(packed|packed-xp|reference; default: $REPRO_BACKEND or packed)",
+    )
+    parser.add_argument(
+        "--array-api",
+        default=None,
+        help="array namespace for the packed-xp backend "
+        "(numpy|torch|cupy; default: $REPRO_ARRAY_API or numpy)",
     )
     parser.add_argument(
         "--batch-size",
@@ -37,6 +43,13 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         help="views per batched rasterization pass (default: all eval views "
         "share one pass)",
     )
+
+
+def cmd_backends(_args: argparse.Namespace) -> int:
+    from .splat.backends import describe_backends
+
+    print(describe_backends())
+    return 0
 
 
 def cmd_traces(_args: argparse.Namespace) -> int:
@@ -164,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("traces", help="list the 13 evaluation traces")
 
+    sub.add_parser(
+        "backends",
+        help="list the rasterization-backend registry and array namespaces",
+    )
+
     p_render = sub.add_parser("render", help="render a trace, report workload/FPS")
     _common_args(p_render)
 
@@ -183,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 COMMANDS = {
+    "backends": cmd_backends,
     "traces": cmd_traces,
     "render": cmd_render,
     "prune": cmd_prune,
@@ -193,9 +212,20 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "backend", None):
-        from .splat.backends import set_default_backend
+    if getattr(args, "array_api", None):
+        from .splat.backends import set_array_api
 
+        try:
+            set_array_api(args.array_api)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if getattr(args, "backend", None):
+        from .splat.backends import describe_backends, set_default_backend
+
+        if args.backend == "list":
+            print(describe_backends())
+            return 0
         try:
             set_default_backend(args.backend)
         except ValueError as exc:

@@ -1,10 +1,16 @@
 """Pluggable rasterization backends for the render engine.
 
-Two engines ship with the repo:
+Three engines ship with the repo, listed in a capability-flagged registry
+(:func:`backend_registry` / ``repro.cli --backend list``):
 
 - ``packed`` (default): flattens all tile–splat intersections of a frame
   into contiguous, depth-sorted segment arrays and runs compositing, stats
-  and the backward pass as whole-frame vectorized segment operations.
+  and the backward pass as whole-frame vectorized segment operations over
+  the numpy kernel namespace.
+- ``packed-xp``: the same engine with its numeric kernels retargeted onto
+  a runtime-resolved array namespace (numpy default; torch / cupy when
+  installed) — see :mod:`repro.splat.backends.kernels` and the
+  ``REPRO_ARRAY_API`` env var / ``--array-api`` CLI flag.
 - ``reference``: the original per-tile Python loop, kept as the regression
   oracle — ``packed`` must match it to within 1e-10.
 
@@ -18,11 +24,24 @@ Selection precedence (first match wins):
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Callable
 
 from .base import FoveatedFrame, RasterBackend
-from .packed import PackedBackend
+from .kernels import (
+    ArrayNamespace,
+    CupyNamespace,
+    NumpyNamespace,
+    TorchNamespace,
+    Workspace,
+    array_api_installed,
+    available_array_apis,
+    get_array_namespace,
+    resolve_array_api_name,
+)
+from .kernels import set_default_array_api as _set_default_array_api
+from .packed import PackedBackend, span_chunk_budget
 from .reference import ReferenceBackend
 from .segments import (
     QUAD_CUTOFF,
@@ -42,12 +61,83 @@ from .segments import (
 DEFAULT_BACKEND = "packed"
 ENV_VAR = "REPRO_BACKEND"
 
-_REGISTRY: dict[str, Callable[[], RasterBackend]] = {
-    "packed": PackedBackend,
-    "reference": ReferenceBackend,
-}
+
+@dataclasses.dataclass(frozen=True)
+class BackendInfo:
+    """One registry entry: factory plus the capabilities dispatchers and
+    tooling introspect without instantiating the backend.
+
+    ``has_forward_batch`` is tri-state: ``True``/``False`` assert the
+    batched entry point's presence/absence, ``None`` (the default for
+    backends registered without capability flags) means "probe the
+    instance" — so a pre-existing ``register_backend(name, factory)`` call
+    whose engine implements ``forward_batch`` keeps its batched dispatch.
+    ``device`` is ``"cpu"`` for host engines and ``"xp"`` for
+    namespace-retargeted ones whose device follows the resolved array API.
+    """
+
+    name: str
+    factory: Callable[[], RasterBackend]
+    description: str = ""
+    device: str = "cpu"
+    has_forward_batch: bool | None = None
+    experimental: bool = False
+
+
+def _make_packed_xp() -> RasterBackend:
+    return PackedBackend(array_namespace=get_array_namespace(), name="packed-xp")
+
+
+_REGISTRY: dict[str, BackendInfo] = {}
 _instances: dict[str, RasterBackend] = {}
 _default_override: str | None = None
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], RasterBackend],
+    *,
+    description: str = "",
+    device: str = "cpu",
+    has_forward_batch: bool | None = None,
+    experimental: bool = False,
+) -> None:
+    """Register a custom backend under ``name`` (overwrites existing)."""
+    _REGISTRY[name] = BackendInfo(
+        name=name,
+        factory=factory,
+        description=description,
+        device=device,
+        has_forward_batch=has_forward_batch,
+        experimental=experimental,
+    )
+    _instances.pop(name, None)
+
+
+register_backend(
+    "packed",
+    PackedBackend,
+    description="whole-frame vectorized span engine (numpy kernels)",
+    device="cpu",
+    has_forward_batch=True,
+)
+register_backend(
+    "packed-xp",
+    _make_packed_xp,
+    description=(
+        "span engine on a pluggable array namespace "
+        "(REPRO_ARRAY_API / --array-api: numpy|torch|cupy)"
+    ),
+    device="xp",
+    has_forward_batch=True,
+)
+register_backend(
+    "reference",
+    ReferenceBackend,
+    description="per-tile Python loop, the regression oracle (batch = per-view loop)",
+    device="cpu",
+    has_forward_batch=True,
+)
 
 
 def available_backends() -> tuple[str, ...]:
@@ -55,10 +145,72 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def register_backend(name: str, factory: Callable[[], RasterBackend]) -> None:
-    """Register a custom backend under ``name`` (overwrites existing)."""
-    _REGISTRY[name] = factory
-    _instances.pop(name, None)
+def backend_info(name: str) -> BackendInfo:
+    """The registry entry for ``name`` (raises on unknown backends)."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown rasterization backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return _REGISTRY[name]
+
+
+def backend_registry() -> tuple[BackendInfo, ...]:
+    """All registry entries, sorted by name."""
+    return tuple(_REGISTRY[name] for name in available_backends())
+
+
+def supports_forward_batch(engine: RasterBackend) -> bool:
+    """Whether ``engine`` implements the batched entry point.
+
+    A registered engine whose entry carries an explicit capability flag
+    answers from it (``True`` still requires the instance to actually
+    expose the method, so a mis-flagged backend cannot crash the
+    dispatcher); flagless registrations and unregistered instances are
+    probed for the method, preserving the dispatcher semantics of PR 2.
+    Instances created through :func:`get_backend` are matched to their
+    registration key by identity, so an engine registered under a name
+    different from its ``.name`` attribute still consults its own entry.
+    """
+    info = None
+    for reg_name, instance in _instances.items():
+        if instance is engine:
+            info = _REGISTRY.get(reg_name)
+            break
+    if info is None:
+        info = _REGISTRY.get(getattr(engine, "name", None))
+    if info is not None and info.has_forward_batch is not None:
+        return info.has_forward_batch and hasattr(engine, "forward_batch")
+    return getattr(engine, "forward_batch", None) is not None
+
+
+def describe_backends() -> str:
+    """Human-readable registry table (what ``--backend list`` prints)."""
+    lines = [
+        f"{'backend':<12} {'device':<6} {'batch':<5} description",
+    ]
+    default = resolve_backend_name(None)
+    for info in backend_registry():
+        marker = "*" if info.name == default else " "
+        batch = (
+            "auto" if info.has_forward_batch is None
+            else "yes" if info.has_forward_batch else "no"
+        )
+        lines.append(
+            f"{info.name:<11}{marker} {info.device:<6} {batch:<5} {info.description}"
+        )
+    lines.append("")
+    lines.append(f"(* = current default; select with --backend / ${ENV_VAR})")
+    api = resolve_array_api_name(None)
+    apis = ", ".join(
+        f"{name}{'' if array_api_installed(name) else ' (not installed)'}"
+        for name in available_array_apis()
+    )
+    lines.append(
+        f"array namespaces for packed-xp (--array-api / $REPRO_ARRAY_API, "
+        f"current: {api}): {apis}"
+    )
+    return "\n".join(lines)
 
 
 def set_default_backend(name: str | None) -> None:
@@ -70,6 +222,19 @@ def set_default_backend(name: str | None) -> None:
             f"available: {', '.join(available_backends())}"
         )
     _default_override = name
+
+
+def set_array_api(name: str | None) -> None:
+    """Select the array namespace the ``packed-xp`` backend resolves.
+
+    Drops the cached ``packed-xp`` instance so the next :func:`get_backend`
+    re-resolves against the new namespace.  This is the only setter the
+    package exports: the lower-level ``kernels.set_default_array_api``
+    changes the resolution without invalidating cached engines, so a
+    backend instantiated earlier would silently keep its old namespace.
+    """
+    _set_default_array_api(name)
+    _instances.pop("packed-xp", None)
 
 
 def resolve_backend_name(name: str | None = None) -> str:
@@ -88,14 +253,18 @@ def get_backend(backend: str | RasterBackend | None = None) -> RasterBackend:
             f"available: {', '.join(available_backends())}"
         )
     if name not in _instances:
-        _instances[name] = _REGISTRY[name]()
+        _instances[name] = _REGISTRY[name].factory()
     return _instances[name]
 
 
 __all__ = [
+    "ArrayNamespace",
+    "BackendInfo",
+    "CupyNamespace",
     "DEFAULT_BACKEND",
     "ENV_VAR",
     "FoveatedFrame",
+    "NumpyNamespace",
     "PackedBackend",
     "PackedSegments",
     "QUAD_CUTOFF",
@@ -105,15 +274,27 @@ __all__ = [
     "SegmentIndex",
     "SpanBatch",
     "TileLaneGeometry",
+    "TorchNamespace",
+    "Workspace",
+    "array_api_installed",
+    "available_array_apis",
     "available_backends",
+    "backend_info",
+    "backend_registry",
     "build_row_spans",
     "build_segments",
     "concat_spans",
+    "describe_backends",
+    "get_array_namespace",
     "get_backend",
     "register_backend",
+    "resolve_array_api_name",
     "resolve_backend_name",
     "segment_transmittance_exclusive",
     "segmented_cumsum_exclusive",
+    "set_array_api",
     "set_default_backend",
+    "span_chunk_budget",
+    "supports_forward_batch",
     "tile_lane_geometry",
 ]

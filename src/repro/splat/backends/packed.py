@@ -12,6 +12,16 @@ reductions over the span arrays — **no Python loop over tiles** in the
 forward, backward, foveated or multi-model paths (the multi-model path
 loops over quality *levels*, of which there are a handful).
 
+The numeric core lives in :mod:`repro.splat.backends.kernels`,
+parameterized by an array namespace: this module orchestrates span
+construction, chunking and the scatter back into frames, while every scan
+and reduction runs through the backend's ``nsx`` (numpy by default; the
+``packed-xp`` registry entry resolves torch/cupy at runtime).  The
+single-view ``forward`` routes through the same pooled batch kernels as a
+batch of one — bit-identical to the historical unpooled pass, but reusing
+the warm :class:`~repro.splat.backends.kernels.Workspace` arena across
+calls (~1.15x on repeated renders).
+
 Work scales with the rasterized splat area rather than
 ``intersections × tile area`` (the reference loop's cost), which is where
 the speedup comes from; results match ``reference`` to within 1e-10.  The
@@ -31,22 +41,41 @@ from __future__ import annotations
 
 import functools
 import os
+import warnings
 from typing import Any
 
 import numpy as np
 
-from ..projection import ALPHA_EPS, ProjectedGaussians
-from ..rasterizer import ALPHA_CLAMP, TRANSMITTANCE_EPS, RasterGradients
+from ..projection import ProjectedGaussians
+from ..rasterizer import RasterGradients
 from ..tiling import TileAssignment, TileGrid
 from .base import FoveatedFrame
+from .kernels import (
+    ArrayNamespace,
+    BatchTables,
+    Workspace,
+    backward_grads,
+    batch_composite,
+    batch_dominated_winners,
+    batch_per_pixel_permutation,
+    batch_span_alphas,
+    batch_span_quad,
+    batch_weights_final,
+    clamp_alphas,
+    composite_groups,
+    dominated_counts,
+    exp_neg_half,
+    get_array_namespace,
+    per_pixel_permutation,
+    span_alphas,
+    span_quad,
+    weights_final,
+)
 from .segments import (
     RowSpans,
-    SpanBatch,
     build_row_spans,
     build_segments,
     concat_spans,
-    segment_transmittance_exclusive,
-    segmented_cumsum_exclusive,
 )
 
 
@@ -65,93 +94,6 @@ def _background_frame(grid: TileGrid, background: np.ndarray) -> np.ndarray:
     return image
 
 
-def _span_quad(projected: ProjectedGaussians, spans: RowSpans) -> np.ndarray:
-    """Mahalanobis quadratic form per (lane, span), ``(ts, R)``.
-
-    The x offsets are shared by all rows of a pair (one gather from a
-    per-pair table); the y offsets are scalars per span.  Evaluation order
-    matches :func:`repro.splat.rasterizer.splat_alphas` bit for bit.
-    """
-    seg = spans.seg
-    geom = seg.geometry
-    means = projected.means2d[seg.pair_splats]
-    conics = projected.conics[seg.pair_splats]
-
-    # (ts, K) pixel-centre x minus mean; both terms exactly representable.
-    dx_pair = geom.lane_x[:, None] + geom.origin_x[seg.pair_tiles][None, :]
-    dx_pair -= means[None, :, 0]
-
-    sp = spans.span_pair
-    dx = dx_pair[:, sp]  # (ts, R)
-    dy = (spans.span_y + 0.5) - means[sp, 1]  # (R,)
-
-    quad = (2.0 * conics[sp, 1])[None, :] * dx
-    quad *= dy[None, :]
-    np.multiply(dx, dx, out=dx)
-    dx *= conics[sp, 0][None, :]
-    quad += dx
-    quad += (conics[sp, 2] * (dy * dy))[None, :]
-    return np.maximum(quad, 0.0, out=quad)
-
-
-def _exp_neg_half(quad: np.ndarray) -> np.ndarray:
-    """``exp(-quad/2)`` (off-ellipse slots underflow toward zero)."""
-    out = np.multiply(quad, -0.5)
-    return np.exp(out, out=out)
-
-
-def _clamp_alphas(raw: np.ndarray) -> np.ndarray:
-    """The rasterizer's intersect test (in place): zero below 1/255, clamp
-    near 1.  Multiplying by the boolean keep-mask zeroes sub-threshold slots
-    exactly, matching the reference ``np.where``."""
-    keep = raw >= ALPHA_EPS
-    np.minimum(raw, ALPHA_CLAMP, out=raw)
-    raw *= keep
-    return raw
-
-
-def _span_alphas(
-    projected: ProjectedGaussians, spans: RowSpans
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-(lane, span) alphas and the quadratic form, ``(ts, R)``.
-
-    Off-image lanes of edge tiles are evaluated like any other slot; they
-    form lane columns that are never scattered into the frame, and the
-    statistics/gradient reductions mask them out explicitly.
-    """
-    quad = _span_quad(projected, spans)
-    alphas = _exp_neg_half(quad)
-    alphas *= projected.opacities[spans.seg.pair_splats][spans.span_pair][None, :]
-    return _clamp_alphas(alphas), quad
-
-
-def _weights_final(
-    alphas: np.ndarray, spans: RowSpans, keep_trans: bool = False
-) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
-    """Transmittance scan: ``(trans_excl, weights, final_trans (ts, Q))``.
-
-    ``final_trans`` replicates the reference early-termination rule exactly:
-    the reference evaluates ``active`` at the *tile's* last splat, which for
-    a pixel whose trailing splats carry no span is the group's final
-    transmittance itself rather than the transmittance before the last
-    contribution.
-
-    Unless ``keep_trans``, the weights are computed in the scan's buffer and
-    the first element of the returned tuple is ``None``.
-    """
-    trans = segment_transmittance_exclusive(alphas, spans.groups)
-    last = spans.groups.last
-    trans_last = trans[:, last].copy()
-    tau = trans_last * (1.0 - alphas[:, last])
-    gate = np.where(spans.group_has_tile_last[None, :], trans_last, tau)
-    final = np.where(gate >= TRANSMITTANCE_EPS, tau, 0.0)
-
-    active = trans >= TRANSMITTANCE_EPS
-    weights = trans * alphas if keep_trans else np.multiply(trans, alphas, out=trans)
-    weights *= active
-    return (trans if keep_trans else None), weights, final
-
-
 def _group_pixel_index(spans: RowSpans) -> tuple[np.ndarray, np.ndarray]:
     """Flat image index and on-image mask of every group lane, ``(Q, ts)``."""
     geom = spans.seg.geometry
@@ -162,6 +104,7 @@ def _group_pixel_index(spans: RowSpans) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _scatter_composite(
+    nsx: ArrayNamespace,
     image: np.ndarray,
     weights: np.ndarray,
     final: np.ndarray,
@@ -172,70 +115,11 @@ def _scatter_composite(
 ) -> None:
     """Accumulate composited colours into ``image`` (pre-filled with bg)."""
     idx, ok = _group_pixel_index(spans)
-    idx_ok = idx[ok]
-    starts = spans.groups.starts
-    scratch = np.empty_like(weights)
-    pixels = np.empty((spans.num_groups, spans.seg.grid.tile_size, 3))
-    for c in range(3):
-        channel = span_colors[:, c]
-        slot = channel[None, :] if color_perm is None else channel[color_perm]
-        np.multiply(weights, slot, out=scratch)
-        pixel = np.add.reduceat(scratch, starts, axis=-1)  # (ts, Q)
-        pixel += final * background[c]
-        pixels[:, :, c] = pixel.T
-    image.reshape(-1, 3)[idx_ok] = pixels[ok]
-
-
-def _per_pixel_permutation(
-    projected: ProjectedGaussians, spans: RowSpans, quad: np.ndarray
-) -> np.ndarray:
-    """StopThePop ordering: per-pixel depth permutation within each group.
-
-    Matches the reference backend exactly (including ties): a stable sort by
-    per-pixel depth followed by a stable sort by group id keeps groups
-    contiguous while ordering each lane by depth with original-order
-    tie-breaking.
-    """
-    base = projected.depths[spans.seg.pair_splats][spans.span_pair]
-    depths = base[None, :] * (1.0 + 0.01 * quad)
-    by_depth = np.argsort(depths, axis=-1, kind="stable")
-    groups_sorted = spans.groups.of_item[by_depth]
-    by_group = np.argsort(groups_sorted, axis=-1, kind="stable")
-    return np.take_along_axis(by_depth, by_group, axis=-1)
-
-
-def _dominated_counts(
-    projected: ProjectedGaussians,
-    spans: RowSpans,
-    weights: np.ndarray,
-    num_points: int,
-    orig_cols: np.ndarray | None,
-) -> np.ndarray:
-    """Val_i: per-point count of pixels it dominates (max ``T_i α_i``).
-
-    Ties resolve to the earliest pair in depth order, matching the
-    reference ``argmax``; ``orig_cols`` maps permuted slots back to their
-    original spans on the per-pixel-sorted path.
-    """
-    dominated = np.zeros(num_points, dtype=np.int64)
-    starts = spans.groups.starts
-    wmax = np.maximum.reduceat(weights, starts, axis=-1)  # (ts, Q)
-    _, ok = _group_pixel_index(spans)
-    has_any = (wmax > 0.0) & ok.T
-    if orig_cols is None:
-        orig_cols = np.broadcast_to(
-            np.arange(spans.num_spans, dtype=np.int64)[None, :], weights.shape
-        )
-    cand = np.where(
-        (weights == wmax[:, spans.groups.of_item]) & (weights > 0.0),
-        orig_cols,
-        spans.num_spans,
+    pixels = composite_groups(
+        nsx, weights, final, span_colors, spans.groups,
+        spans.seg.grid.tile_size, background, color_perm,
     )
-    winners = np.minimum.reduceat(cand, starts, axis=-1)  # (ts, Q)
-    winner_pairs = spans.span_pair[winners[has_any]]
-    pids = projected.point_ids[spans.seg.pair_splats[winner_pairs]]
-    np.add.at(dominated, pids, 1)
-    return dominated
+    image.reshape(-1, 3)[idx[ok]] = pixels[ok]
 
 
 # Cache-residency budget of one batched scan, in spans.  A batch scan's
@@ -245,35 +129,95 @@ def _dominated_counts(
 # each scan matrix around 1 MB (at the default 16-px tiles) — the best point
 # of a 6k–24k sweep across frame sizes and view counts — while still
 # amortizing the fixed per-frame kernel overhead across several views.
-# Tune per machine with ``REPRO_BATCH_SPAN_BUDGET``.
-SPAN_CHUNK_BUDGET = int(os.environ.get("REPRO_BATCH_SPAN_BUDGET", 8192))
+# Tune per machine with ``REPRO_BATCH_SPAN_BUDGET``; device namespaces skip
+# the chunking entirely (no CPU cache to stay resident in).
+DEFAULT_SPAN_CHUNK_BUDGET = 8192
+SPAN_BUDGET_ENV = "REPRO_BATCH_SPAN_BUDGET"
 
 
-class _Workspace:
-    """Persistent scratch buffers for the batched span kernels.
+def span_chunk_budget() -> int:
+    """The per-chunk span budget, hardened against bad environment values.
 
-    A batch's ``(tile_size, R)`` temporaries run to several MB each; fresh
-    allocations of that size pay page faults on every first touch, which
-    measured ~2x on the whole batched pass.  Named slots are grown (with
-    headroom) when a batch outsizes them and sliced to shape otherwise, so
-    steady-state batched rendering touches only warm pages.  The backend is
-    a process-wide singleton, so slots live for the process; call
-    :meth:`trim` to drop them.
+    Non-integer or non-positive ``REPRO_BATCH_SPAN_BUDGET`` settings fall
+    back to :data:`DEFAULT_SPAN_CHUNK_BUDGET` with a warning instead of
+    crashing the render path (or silently degenerating to zero-view
+    chunks).
     """
+    raw = os.environ.get(SPAN_BUDGET_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_SPAN_CHUNK_BUDGET
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {SPAN_BUDGET_ENV}={raw!r}; "
+            f"using the default of {DEFAULT_SPAN_CHUNK_BUDGET} spans",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_SPAN_CHUNK_BUDGET
+    if value <= 0:
+        warnings.warn(
+            f"ignoring non-positive {SPAN_BUDGET_ENV}={raw!r}; "
+            f"using the default of {DEFAULT_SPAN_CHUNK_BUDGET} spans",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_SPAN_CHUNK_BUDGET
+    return value
 
-    def __init__(self) -> None:
-        self._slots: dict[str, np.ndarray] = {}
 
-    def take(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
-        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        buf = self._slots.get(name)
-        if buf is None or buf.dtype != np.dtype(dtype) or buf.size < n:
-            buf = np.empty(n + (n >> 2) + 16, dtype=dtype)
-            self._slots[name] = buf
-        return buf[:n].reshape(shape)
+def forward_unpooled(
+    projected: ProjectedGaussians,
+    assignment: TileAssignment,
+    num_points: int,
+    background: np.ndarray,
+    collect_stats: bool = False,
+    per_pixel_sort: bool = False,
+    nsx: ArrayNamespace | None = None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """The historical single-view forward: fresh span temporaries per call.
 
-    def trim(self) -> None:
-        self._slots.clear()
+    This is the pre-pooling composition of the unpooled kernels, kept as
+    the bitwise oracle for :meth:`PackedBackend.forward` (which routes
+    through the pooled batch-of-one kernels instead) and as the baseline
+    of the repeated-render benchmark in ``bench_backend_speedup.py``.
+    """
+    nsx = nsx or get_array_namespace("numpy")
+    grid = assignment.grid
+    dominated = np.zeros(num_points, dtype=np.int64) if collect_stats else None
+    image = _background_frame(grid, background)
+    if assignment.num_intersections == 0:
+        return image, dominated
+
+    seg = build_segments(assignment)
+    spans = build_row_spans(projected, seg, full_rows=per_pixel_sort)
+    if spans.num_spans == 0:
+        return image, dominated
+    alphas, quad = span_alphas(nsx, projected, spans)
+
+    perm = None
+    if per_pixel_sort:
+        perm = per_pixel_permutation(
+            nsx, projected.depths[seg.pair_splats], spans.span_pair, quad,
+            spans.groups,
+        )
+        alphas = np.take_along_axis(alphas, perm, axis=-1)
+    del quad
+
+    _, weights, final = weights_final(nsx, alphas, spans)
+    span_colors = projected.colors[seg.pair_splats][spans.span_pair]
+    _scatter_composite(
+        nsx, image, weights, final, span_colors, spans, background,
+        color_perm=perm,
+    )
+
+    if collect_stats:
+        _, lane_ok = _group_pixel_index(spans)
+        dominated = dominated_counts(
+            nsx, projected, spans, weights, num_points, lane_ok, perm
+        )
+    return image, dominated
 
 
 def _batch_pair_tables(
@@ -310,135 +254,28 @@ def _batch_pair_tables(
     )
 
 
-def _batch_span_quad(
-    batch: SpanBatch,
-    pair_means: np.ndarray,
-    pair_conics: np.ndarray,
-    pair_origin_x: np.ndarray,
-    tile_size: int,
-    ws: _Workspace,
-) -> np.ndarray:
-    """Mahalanobis quadratic form over a whole batch, ``(ts, R)``.
-
-    Same evaluation order as :func:`_span_quad` (every rewrite into a
-    workspace buffer commutes bitwise), so a batch of one view is
-    bit-identical to the unbatched forward pass.
-    """
-    sp = batch.span_pair
-    ts, k, r = tile_size, pair_means.shape[0], sp.shape[0]
-    lane_x = np.arange(ts, dtype=np.int64) + 0.5
-
-    dx_pair = ws.take("dx_pair", (ts, k))
-    np.add(lane_x[:, None], pair_origin_x[None, :], out=dx_pair)
-    dx_pair -= pair_means[None, :, 0]
-    dx = ws.take("dx", (ts, r))
-    np.take(dx_pair, sp, axis=1, out=dx, mode="clip")
-
-    dy = ws.take("dy", (r,))
-    np.add(batch.span_y, 0.5, out=dy)
-    gather = ws.take("conic_gather", (r,))
-    np.take(pair_means[:, 1], sp, out=gather, mode="clip")
-    dy -= gather
-
-    quad = ws.take("quad", (ts, r))
-    np.take(pair_conics[:, 1], sp, out=gather, mode="clip")
-    gather *= 2.0
-    np.multiply(gather[None, :], dx, out=quad)
-    quad *= dy[None, :]
-    np.multiply(dx, dx, out=dx)
-    np.take(pair_conics[:, 0], sp, out=gather, mode="clip")
-    dx *= gather[None, :]
-    quad += dx
-    np.take(pair_conics[:, 2], sp, out=gather, mode="clip")
-    dy *= dy
-    gather *= dy
-    quad += gather[None, :]
-    return np.maximum(quad, 0.0, out=quad)
-
-
-def _batch_span_alphas(
-    batch: SpanBatch, pair_opacities: np.ndarray, quad: np.ndarray, ws: _Workspace
-) -> np.ndarray:
-    """Alphas over a whole batch (cf. :func:`_span_alphas`), ``quad`` kept."""
-    alphas = ws.take("alphas", quad.shape)
-    np.multiply(quad, -0.5, out=alphas)
-    np.exp(alphas, out=alphas)
-    alphas *= pair_opacities[batch.span_pair][None, :]
-    keep = ws.take("keep", alphas.shape, np.bool_)
-    np.greater_equal(alphas, ALPHA_EPS, out=keep)
-    np.minimum(alphas, ALPHA_CLAMP, out=alphas)
-    alphas *= keep
-    return alphas
-
-
-def _batch_weights_final(
-    alphas: np.ndarray, batch: SpanBatch, ws: _Workspace
-) -> tuple[np.ndarray, np.ndarray]:
-    """Transmittance scan over a whole batch: ``(weights, final)``.
-
-    Inlines :func:`_weights_final` /
-    :func:`~repro.splat.backends.segments.segment_transmittance_exclusive`
-    with workspace buffers, in the exact same operation order.  Batch groups
-    are never empty (each view contributes only its non-empty ``(tile,
-    row)`` runs), so the scan needs no empty-segment widening.
-    """
-    groups = batch.groups
-    starts = groups.starts
-
-    logt = ws.take("logt", alphas.shape)
-    np.negative(alphas, out=logt)
-    np.log1p(logt, out=logt)
-    totals = ws.take("totals", alphas.shape[:-1] + (groups.num_segments,))
-    np.add.reduceat(logt, starts, axis=-1, out=totals)
-    if starts.size > 1:
-        logt[..., starts[1:]] -= totals[..., :-1]
-    np.cumsum(logt, axis=-1, out=logt)
-    excl = ws.take("excl", alphas.shape)
-    excl[..., 0] = 0.0
-    excl[..., 1:] = logt[..., :-1]
-    excl[..., starts] = 0.0
-    np.minimum(excl, 0.0, out=excl)
-    trans = np.exp(excl, out=excl)
-
-    last = groups.last
-    trans_last = trans[:, last].copy()
-    tau = trans_last * (1.0 - alphas[:, last])
-    gate = np.where(batch.group_has_tile_last[None, :], trans_last, tau)
-    final = np.where(gate >= TRANSMITTANCE_EPS, tau, 0.0)
-
-    active = ws.take("active", alphas.shape, np.bool_)
-    np.greater_equal(trans, TRANSMITTANCE_EPS, out=active)
-    weights = np.multiply(trans, alphas, out=trans)
-    weights *= active
-    return weights, final
-
-
-def _batch_per_pixel_permutation(
-    batch: SpanBatch, pair_depths: np.ndarray, quad: np.ndarray
-) -> np.ndarray:
-    """StopThePop ordering across a batch (cf. :func:`_per_pixel_permutation`).
-
-    The stable depth-then-group double sort permutes only within groups, and
-    group ids are strictly increasing across views, so each view's pixels get
-    exactly the ordering the unbatched path would produce.
-    """
-    base = pair_depths[batch.span_pair]
-    depths = base[None, :] * (1.0 + 0.01 * quad)
-    by_depth = np.argsort(depths, axis=-1, kind="stable")
-    groups_sorted = batch.groups.of_item[by_depth]
-    by_group = np.argsort(groups_sorted, axis=-1, kind="stable")
-    return np.take_along_axis(by_depth, by_group, axis=-1)
-
-
 class PackedBackend:
-    """Flattened intersection-list engine (the default)."""
+    """Flattened intersection-list engine (the default).
+
+    ``array_namespace`` retargets the numeric kernels: ``None`` pins the
+    engine to numpy (the ``packed`` registry entry); the ``packed-xp``
+    entry passes the runtime-resolved namespace (``REPRO_ARRAY_API`` /
+    ``--array-api``).
+    """
 
     name = "packed"
 
-    def __init__(self) -> None:
-        # Scratch buffers of the batched path, reused across calls (the
-        # backend is a process-wide singleton).
-        self._ws = _Workspace()
+    def __init__(
+        self,
+        array_namespace: ArrayNamespace | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.nsx = array_namespace or get_array_namespace("numpy")
+        if name is not None:
+            self.name = name
+        # Scratch arena of the pooled kernels, reused across calls (the
+        # backend is a process-wide singleton) and owned by the namespace.
+        self._ws = Workspace(self.nsx)
 
     def forward(
         self,
@@ -451,9 +288,8 @@ class PackedBackend:
     ) -> tuple[np.ndarray, np.ndarray | None]:
         grid = assignment.grid
         dominated = np.zeros(num_points, dtype=np.int64) if collect_stats else None
-        image = _background_frame(grid, background)
         if assignment.num_intersections == 0:
-            return image, dominated
+            return _background_frame(grid, background), dominated
 
         seg = build_segments(assignment)
         # Per-pixel sorting keeps every tile row: its early-termination gate
@@ -462,24 +298,14 @@ class PackedBackend:
         # reference's gate row).
         spans = build_row_spans(projected, seg, full_rows=per_pixel_sort)
         if spans.num_spans == 0:
-            return image, dominated
-        alphas, quad = _span_alphas(projected, spans)
-
-        perm = None
-        if per_pixel_sort:
-            perm = _per_pixel_permutation(projected, spans, quad)
-            alphas = np.take_along_axis(alphas, perm, axis=-1)
-        del quad
-
-        _, weights, final = _weights_final(alphas, spans)
-        span_colors = projected.colors[seg.pair_splats][spans.span_pair]
-        _scatter_composite(
-            image, weights, final, span_colors, spans, background, color_perm=perm
-        )
-
-        if collect_stats:
-            dominated = _dominated_counts(projected, spans, weights, num_points, perm)
-        return image, dominated
+            return _background_frame(grid, background), dominated
+        # Pooled single-view fast path: a batch of one through the same
+        # kernels as ``forward_batch`` — bit-identical to the historical
+        # unpooled pass, but on the warm workspace arena.
+        return self._forward_chunk(
+            [(projected, assignment)], [spans], num_points, background,
+            collect_stats, per_pixel_sort,
+        )[0]
 
     def forward_batch(
         self,
@@ -496,15 +322,19 @@ class PackedBackend:
         transmittance scan, compositing and the Val_i statistics each run
         once over all the batched frames; only the final scatter into each
         frame and the cheap per-view span construction remain per view.
-        Scans are capped at :data:`SPAN_CHUNK_BUDGET` spans (several views'
-        worth) so the shared scan matrices stay cache-resident — one scan
-        over everything would stream every operation from DRAM.
+        On CPU namespaces, scans are capped at :func:`span_chunk_budget`
+        spans (several views' worth) so the shared scan matrices stay
+        cache-resident — one scan over everything would stream every
+        operation from DRAM.  Device namespaces run one concatenated scan
+        per batch: there is no CPU cache to stay resident in, and kernel
+        launches amortize best over the largest possible segments.
         """
         if not views:
             return []
         sizes = {a.grid.tile_size for _, a in views}
         if len(sizes) > 1:
             raise ValueError(f"views must share one tile size, got {sorted(sizes)}")
+        budget = span_chunk_budget() if self.nsx.device == "cpu" else None
 
         # Chunks are built streaming — one view's spans at a time, flushed
         # once the budget fills — so peak residency is one chunk's spans and
@@ -529,7 +359,11 @@ class PackedBackend:
             spans = build_row_spans(
                 view[0], build_segments(view[1]), full_rows=per_pixel_sort
             )
-            if chunk_views and total + spans.num_spans > SPAN_CHUNK_BUDGET:
+            if (
+                chunk_views
+                and budget is not None
+                and total + spans.num_spans > budget
+            ):
                 flush()
             chunk_views.append(view)
             chunk_spans.append(spans)
@@ -557,7 +391,7 @@ class PackedBackend:
             return list(zip(images, dominated))
 
         ts = views[0][1].grid.tile_size
-        ws = self._ws
+        nsx, ws = self.nsx, self._ws
         (
             pair_means,
             pair_conics,
@@ -567,34 +401,23 @@ class PackedBackend:
             pair_origin_x,
             pair_depths,
         ) = _batch_pair_tables(views, spans_list)
-
-        quad = _batch_span_quad(
-            batch, pair_means, pair_conics, pair_origin_x, ts, ws
+        bt = BatchTables.build(
+            nsx, batch, ts, pair_means, pair_conics, pair_opacities,
+            pair_colors, pair_origin_x, pair_depths,
         )
-        alphas = _batch_span_alphas(batch, pair_opacities, quad, ws)
+
+        quad = batch_span_quad(nsx, ws, bt)
+        alphas = batch_span_alphas(nsx, ws, bt, quad)
 
         perm = None
         if per_pixel_sort:
-            perm = _batch_per_pixel_permutation(batch, pair_depths, quad)
-            alphas = np.take_along_axis(alphas, perm, axis=-1)
+            perm = batch_per_pixel_permutation(nsx, bt, quad)
+            alphas = nsx.take_along_last(alphas, perm)
 
-        weights, final = _batch_weights_final(alphas, batch, ws)
+        weights, final = batch_weights_final(nsx, ws, bt, alphas)
 
         # One compositing reduction over the whole batch, scattered per view.
-        starts = batch.groups.starts
-        r, q = batch.num_spans, batch.num_groups
-        span_colors = ws.take("span_colors", (r, 3))
-        np.take(pair_colors, batch.span_pair, axis=0, out=span_colors, mode="clip")
-        scratch = ws.take("scratch", weights.shape)
-        pixel = ws.take("pixel", (ts, q))
-        pixels = ws.take("pixels", (q, ts, 3))
-        for c in range(3):
-            channel = span_colors[:, c]
-            slot = channel[None, :] if perm is None else channel[perm]
-            np.multiply(weights, slot, out=scratch)
-            np.add.reduceat(scratch, starts, axis=-1, out=pixel)  # (ts, Q)
-            pixel += final * background[c]
-            pixels[:, :, c] = pixel.T
+        pixels = batch_composite(nsx, ws, bt, weights, final, background, perm)
         for v, spans in enumerate(spans_list):
             if spans.num_groups == 0:
                 continue
@@ -602,30 +425,12 @@ class PackedBackend:
             images[v].reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
 
         if collect_stats:
-            wmax = ws.take("wmax", (ts, q))
-            np.maximum.reduceat(weights, starts, axis=-1, out=wmax)
             ok_all = np.concatenate(
                 [s.seg.geometry.lane_valid[s.group_tile] for s in spans_list]
             )  # (Q, ts)
-            has_any = (wmax > 0.0) & ok_all.T
-            # cand = where(weights == per-group max and > 0, span column, R):
-            # the winners minimum then resolves ties to the earliest span in
-            # depth order, exactly like the unbatched path.
-            is_max = ws.take("is_max", weights.shape, np.bool_)
-            gather = ws.take("wmax_gather", weights.shape)
-            np.take(wmax, batch.groups.of_item, axis=-1, out=gather, mode="clip")
-            np.equal(weights, gather, out=is_max)
-            positive = ws.take("positive", weights.shape, np.bool_)
-            np.greater(weights, 0.0, out=positive)
-            is_max &= positive
-            cand = ws.take("cand", weights.shape, np.int64)
-            cand[...] = r
-            orig_cols = (
-                np.arange(r, dtype=np.int64)[None, :] if perm is None else perm
+            winners, has_any = batch_dominated_winners(
+                nsx, ws, bt, weights, ok_all, perm
             )
-            np.copyto(cand, orig_cols, where=is_max)
-            winners = ws.take("winners", (ts, q), np.int64)
-            np.minimum.reduceat(cand, starts, axis=-1, out=winners)
             for v in range(len(views)):
                 gsl = batch.view_groups(v)
                 sel = has_any[:, gsl]
@@ -643,11 +448,10 @@ class PackedBackend:
         grad_image: np.ndarray,
         background: np.ndarray,
     ) -> RasterGradients:
-        grad_color = np.zeros((num_points, 3))
-        grad_opacity = np.zeros(num_points)
-        grad_log_scale = np.zeros(num_points)
         result = RasterGradients(
-            color=grad_color, opacity=grad_opacity, log_scale=grad_log_scale
+            color=np.zeros((num_points, 3)),
+            opacity=np.zeros(num_points),
+            log_scale=np.zeros(num_points),
         )
         if assignment.num_intersections == 0:
             return result
@@ -656,44 +460,11 @@ class PackedBackend:
         spans = build_row_spans(projected, seg)
         if spans.num_spans == 0:
             return result
-        alphas, quad = _span_alphas(projected, spans)
-        trans, weights, final = _weights_final(alphas, spans, keep_trans=True)
-
-        # dL/dimage per group lane (zero on off-image lanes), lanes-first.
-        idx, ok = _group_pixel_index(spans)
-        ts = seg.grid.tile_size
-        g_group = np.zeros((spans.num_groups, ts, 3))
-        g_group[ok] = grad_image.reshape(-1, 3)[idx[ok]]
-        g_lanes = np.ascontiguousarray(g_group.transpose(1, 0, 2))  # (ts, Q, 3)
-
-        span_colors = projected.colors[seg.pair_splats][spans.span_pair]  # (R, 3)
-        of_item = spans.groups.of_item
-        gc = np.zeros_like(weights)  # (ts, R): g·c_i per pixel
-        span_grad_color = np.empty((spans.num_spans, 3))
-        for c in range(3):
-            g_c = g_lanes[:, of_item, c]
-            gc += span_colors[None, :, c] * g_c
-            span_grad_color[:, c] = (weights * g_c).sum(axis=0)
-
-        # Suffix sums S_i = Σ_{j>i} contrib_j + T_N (g·bg), per pixel.
-        contrib = weights * gc
-        excl, totals = segmented_cumsum_exclusive(contrib, spans.groups)
-        bg_term = final * (g_lanes @ background)  # (ts, Q)
-        suffix_after = totals[:, of_item] - (excl + contrib)
-        suffix_after += bg_term[:, of_item]
-
-        grad_alpha = trans * gc
-        grad_alpha -= suffix_after / np.maximum(1.0 - alphas, 1e-6)
-        hit = alphas > 0.0
-        grad_alpha *= (trans >= TRANSMITTANCE_EPS) & hit & (alphas < ALPHA_CLAMP)
-
-        # dα/do = e^{-q/2}; dα/du = α·q (since dq/du = -2q, dα/dq = -α/2).
-        exp_term = _exp_neg_half(quad)
-        pids = projected.point_ids[seg.pair_splats][spans.span_pair]
-        np.add.at(grad_color, pids, span_grad_color)
-        np.add.at(grad_opacity, pids, (grad_alpha * exp_term).sum(axis=0))
-        np.add.at(grad_log_scale, pids, (grad_alpha * alphas * quad).sum(axis=0))
-        return result
+        lane_index, lane_ok = _group_pixel_index(spans)
+        return backward_grads(
+            self.nsx, projected, spans, grad_image, background, num_points,
+            lane_index, lane_ok,
+        )
 
     def foveated_frame(
         self,
@@ -706,6 +477,7 @@ class PackedBackend:
         background: np.ndarray,
     ) -> FoveatedFrame:
         grid = assignment.grid
+        nsx = self.nsx
         num_tiles = grid.num_tiles
         if assignment.num_intersections == 0:
             return FoveatedFrame(
@@ -740,7 +512,7 @@ class PackedBackend:
 
         spans = build_row_spans(projected, seg)
         if spans.num_spans:
-            base_exp = _exp_neg_half(_span_quad(projected, spans))
+            base_exp = exp_neg_half(nsx, span_quad(nsx, projected, spans))
         else:
             base_exp = np.empty((grid.tile_size, 0))
 
@@ -752,13 +524,15 @@ class PackedBackend:
             sp = sub_spans.span_pair
             pids = pair_pids[sp]
             levels = pair_levels[sp]  # subset first: never indexes level 0
-            alphas = _clamp_alphas(
-                op_mat[levels - 1, pids][None, :] * base_exp[:, keep]
+            alphas = clamp_alphas(
+                nsx, op_mat[levels - 1, pids][None, :] * base_exp[:, keep]
             )
             alphas *= pair_mask[sp][None, :]
             colors = projected.colors[seg.pair_splats[sp]] + de_mat[levels - 1, pids]
-            _, weights, final = _weights_final(alphas, sub_spans)
-            _scatter_composite(image, weights, final, colors, sub_spans, background)
+            _, weights, final = weights_final(nsx, alphas, sub_spans)
+            _scatter_composite(
+                nsx, image, weights, final, colors, sub_spans, background
+            )
             return image
 
         prim = level_image(
@@ -811,6 +585,7 @@ class PackedBackend:
         background: np.ndarray,
     ) -> FoveatedFrame:
         grid = views[0][1].grid
+        nsx = self.nsx
         num_tiles = grid.num_tiles
         tile_ids = np.arange(num_tiles)
         tl = maps.tile_level
@@ -851,11 +626,13 @@ class PackedBackend:
             ).subset(need)
             if sub_spans.num_spans == 0:
                 continue
-            alphas, _ = _span_alphas(projected_v, sub_spans)
-            _, weights, final = _weights_final(alphas, sub_spans)
+            alphas, _ = span_alphas(nsx, projected_v, sub_spans)
+            _, weights, final = weights_final(nsx, alphas, sub_spans)
             colors = projected_v.colors[sub_spans.seg.pair_splats][sub_spans.span_pair]
             img_v = _background_frame(grid, background)
-            _scatter_composite(img_v, weights, final, colors, sub_spans, background)
+            _scatter_composite(
+                nsx, img_v, weights, final, colors, sub_spans, background
+            )
             mask_p = need_p[tile_map]
             mask_s = need_s[tile_map]
             prim[mask_p] = img_v[mask_p]

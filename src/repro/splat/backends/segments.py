@@ -103,61 +103,27 @@ def segmented_cumsum_exclusive(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-segment exclusive cumulative sum of ``values`` along the last axis.
 
-    Returns ``(exclusive_cumsum, segment_totals)``.  One global ``cumsum``
-    re-centred at every segment boundary: the running total is reset by
-    subtracting the previous segment's (exactly re-computed) total, so
-    intermediate magnitudes — and with them the floating-point drift a naive
-    global scan accumulates across thousands of segments — stay bounded by a
-    single segment's range.
-
-    Length-0 segments are allowed (they own no items and report a zero
-    total), as is an entirely empty index/value pair.
-
-    ``consume=True`` lets the scan scribble over ``values``.
+    Numpy-namespace wrapper around the backend-agnostic scan in
+    :mod:`repro.splat.backends.kernels` (see there for semantics: one
+    global ``cumsum`` re-centred at every segment boundary; length-0
+    segments allowed; ``consume=True`` lets the scan scribble over
+    ``values``).  Returns ``(exclusive_cumsum, segment_totals)``.
     """
-    totals_shape = values.shape[:-1] + (index.num_segments,)
-    if values.shape[-1] == 0 or index.num_segments == 0:
-        return np.zeros_like(values), np.zeros(totals_shape)
-    empty = index.lens == 0
-    if empty.any():
-        # ``reduceat`` misreads duplicated starts; scan the non-empty
-        # segments (which still cover every item) and widen the totals.
-        sub_lens = index.lens[~empty]
-        sub = SegmentIndex(
-            starts=index.starts[~empty],
-            lens=sub_lens,
-            of_item=np.repeat(np.arange(sub_lens.shape[0], dtype=np.int64), sub_lens),
-        )
-        excl, sub_totals = segmented_cumsum_exclusive(values, sub, consume=consume)
-        totals = np.zeros(totals_shape)
-        totals[..., ~empty] = sub_totals
-        return excl, totals
-    totals = np.add.reduceat(values, index.starts, axis=-1)
-    adj = values if consume else values.copy()
-    if index.starts.size > 1:
-        adj[..., index.starts[1:]] -= totals[..., :-1]
-    np.cumsum(adj, axis=-1, out=adj)
-    excl = np.empty_like(adj)
-    excl[..., 0] = 0.0
-    excl[..., 1:] = adj[..., :-1]
-    # The shifted scan leaks the previous segment's (re-centred) running
-    # total into each segment's first slot; an exclusive scan starts at zero.
-    excl[..., index.starts] = 0.0
-    return excl, totals
+    from .kernels import segmented_cumsum_exclusive as _impl
+
+    return _impl(values, index, consume=consume)
 
 
 def segment_transmittance_exclusive(alphas: np.ndarray, index: SegmentIndex) -> np.ndarray:
     """Front-to-back exclusive transmittance ``T_i = Π_{j<i} (1 − α_j)``.
 
-    Computed per segment (along the last axis) in log space; alphas are
-    clamped below 1, so the logs are finite (``log1p(0) = 0`` keeps zero
-    alphas out of the scan), and every segment starts at an exact 1.0.
+    Numpy-namespace wrapper around the log-space segmented scan in
+    :mod:`repro.splat.backends.kernels`; alphas are clamped below 1, so
+    the logs are finite and every segment starts at an exact 1.0.
     """
-    log_one_minus = np.negative(alphas)
-    np.log1p(log_one_minus, out=log_one_minus)
-    log_excl, _ = segmented_cumsum_exclusive(log_one_minus, index, consume=True)
-    np.minimum(log_excl, 0.0, out=log_excl)
-    return np.exp(log_excl, out=log_excl)
+    from .kernels import segment_transmittance_exclusive as _impl
+
+    return _impl(alphas, index)
 
 
 @dataclasses.dataclass

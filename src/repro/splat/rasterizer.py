@@ -243,16 +243,17 @@ def rasterize_batch(
     per-view :meth:`forward` loop.  Returns one ``(image, stats)`` tuple per
     view, identical in meaning to :func:`rasterize`.
     """
-    from .backends import get_backend
+    from .backends import get_backend, supports_forward_batch
 
     if background is None:
         background = np.zeros(3)
     background = np.asarray(background, dtype=np.float64)
 
     engine = get_backend(backend)
-    forward_batch = getattr(engine, "forward_batch", None)
-    if forward_batch is not None:
-        raw = forward_batch(views, num_points, background, collect_stats, per_pixel_sort)
+    if supports_forward_batch(engine):
+        raw = engine.forward_batch(
+            views, num_points, background, collect_stats, per_pixel_sort
+        )
     else:
         raw = [
             engine.forward(

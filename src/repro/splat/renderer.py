@@ -147,6 +147,11 @@ class ViewCache:
     cache survives model copies and fresh ``Camera`` objects, and a mutated
     model (e.g. mid-finetuning) never serves stale projections.  ``hits`` /
     ``misses`` make the sharing observable for tests and benchmarks.
+
+    Eviction is LRU: a hit refreshes an entry's recency, and under
+    ``maxsize`` pressure the least-recently-used entry is dropped — so a
+    looped trajectory whose pose count exceeds ``maxsize`` by a few still
+    keeps its hottest poses resident instead of cycling everything out.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -186,15 +191,17 @@ class ViewCache:
         views = []
         for camera in cameras:
             key = (model_key, _camera_key(camera), config_key)
-            view = self._entries.get(key)
+            view = self._entries.pop(key, None)
             if view is not None:
                 self.hits += 1
             else:
                 self.misses += 1
                 view = prepare_view(model, camera, config)
                 if len(self._entries) >= self.maxsize:
-                    self._entries.pop(next(iter(self._entries)))  # evict oldest
-                self._entries[key] = view
+                    # Dict order is insertion order and every access
+                    # re-inserts, so the first key is the LRU entry.
+                    self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = view
             views.append(view)
         return views
 

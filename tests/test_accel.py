@@ -192,3 +192,63 @@ class TestEnergy:
         e_ip = accelerator_energy(workload, METASAPIENS_TM_IP)
         assert e_ip.sram_mj < e_base.sram_mj
         assert e_ip.compute_mj == pytest.approx(e_base.compute_mj)
+
+
+class TestSpansToTileCounts:
+    """The span → accelerator-workload adapter (real per-row fragment counts)."""
+
+    @pytest.fixture(scope="class")
+    def spans(self):
+        from repro.splat import prepare_view, random_model
+        from repro.splat.backends import build_row_spans, build_segments
+        from repro.splat import Camera
+
+        model = random_model(300, np.random.default_rng(3), extent=2.0)
+        cam = Camera.from_fov(
+            width=96, height=64, fov_x_deg=60.0,
+            position=np.array([0.0, 0.0, -4.0]), look_at=np.zeros(3),
+        )
+        projected, assignment = prepare_view(model, cam)
+        spans = build_row_spans(projected, build_segments(assignment))
+        assert spans.num_spans > 0
+        return assignment, spans
+
+    def test_span_units_total(self, spans):
+        from repro.accel import spans_to_tile_counts
+
+        assignment, sp = spans
+        counts = spans_to_tile_counts(sp, units="spans")
+        assert counts.shape == (assignment.grid.num_tiles,)
+        assert counts.sum() == sp.num_spans
+        # Tiles without any span carry zero work.
+        assert np.all(counts[np.setdiff1d(
+            np.arange(assignment.grid.num_tiles), np.unique(sp.span_tile)
+        )] == 0)
+
+    def test_intersection_units_bounded_by_synthetic(self, spans):
+        from repro.accel import spans_to_tile_counts
+
+        assignment, sp = spans
+        real = spans_to_tile_counts(sp, units="intersections")
+        synthetic = assignment.intersections_per_tile().astype(np.float64)
+        # Real rasterized area never exceeds charging every intersection a
+        # full tile, per tile and in total.
+        assert np.all(real <= synthetic + 1e-12)
+        assert 0.0 < real.sum() <= synthetic.sum()
+
+    def test_unknown_units_rejected(self, spans):
+        from repro.accel import spans_to_tile_counts
+
+        _, sp = spans
+        with pytest.raises(ValueError, match="unknown units"):
+            spans_to_tile_counts(sp, units="flops")
+
+    def test_drives_pipeline_sim(self, spans):
+        from repro.accel import METASAPIENS_TM_IP, simulate_pipeline, spans_to_tile_counts
+
+        _, sp = spans
+        result = simulate_pipeline(
+            spans_to_tile_counts(sp, units="intersections"), METASAPIENS_TM_IP
+        )
+        assert result.total_cycles > 0
+        assert result.num_scheduled_tiles > 0

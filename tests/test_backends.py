@@ -17,14 +17,25 @@ from repro.splat import Camera, GaussianModel, RenderConfig, random_model, rende
 from repro.splat.backends import (
     DEFAULT_BACKEND,
     available_backends,
+    backend_info,
+    backend_registry,
+    describe_backends,
     get_backend,
+    register_backend,
     resolve_backend_name,
     set_default_backend,
+    span_chunk_budget,
+    supports_forward_batch,
 )
+from repro.splat.backends.packed import DEFAULT_SPAN_CHUNK_BUDGET, forward_unpooled
 from repro.splat.rasterizer import rasterize, rasterize_backward
 from repro.splat.renderer import prepare_view
 
 TOL = 1e-10
+
+# The numpy-namespace ``packed-xp`` entry must satisfy every equivalence
+# the hand-tuned ``packed`` engine does.
+PACKED_BACKENDS = ("packed", "packed-xp")
 
 
 def random_scene(seed: int, n: int = 200) -> GaussianModel:
@@ -41,9 +52,9 @@ def camera(width=96, height=64) -> Camera:
     )
 
 
-def assert_render_equivalent(model, cam, **config_kwargs):
+def assert_render_equivalent(model, cam, packed_backend="packed", **config_kwargs):
     ref = render(model, cam, RenderConfig(backend="reference", **config_kwargs))
-    pk = render(model, cam, RenderConfig(backend="packed", **config_kwargs))
+    pk = render(model, cam, RenderConfig(backend=packed_backend, **config_kwargs))
     assert np.allclose(ref.image, pk.image, atol=TOL)
     if ref.stats is not None:
         assert np.array_equal(
@@ -57,13 +68,18 @@ def assert_render_equivalent(model, cam, **config_kwargs):
 
 
 class TestForwardEquivalence:
+    @pytest.mark.parametrize("backend", PACKED_BACKENDS)
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
-    def test_random_scenes(self, seed):
-        assert_render_equivalent(random_scene(seed), camera())
+    def test_random_scenes(self, seed, backend):
+        assert_render_equivalent(random_scene(seed), camera(), packed_backend=backend)
 
+    @pytest.mark.parametrize("backend", PACKED_BACKENDS)
     @pytest.mark.parametrize("seed", [0, 1])
-    def test_per_pixel_sort(self, seed):
-        assert_render_equivalent(random_scene(seed), camera(), per_pixel_sort=True)
+    def test_per_pixel_sort(self, seed, backend):
+        assert_render_equivalent(
+            random_scene(seed), camera(), packed_backend=backend,
+            per_pixel_sort=True,
+        )
 
     def test_per_pixel_sort_early_termination_gate(self):
         # Regression: the per-pixel-sorted early-termination gate sits at the
@@ -88,10 +104,25 @@ class TestForwardEquivalence:
             model, camera(), per_pixel_sort=True, background=(1.0, 1.0, 1.0)
         )
 
-    def test_non_tile_multiple_resolution(self):
+    @pytest.mark.parametrize("backend", PACKED_BACKENDS)
+    def test_non_tile_multiple_resolution(self, backend):
         # 70x52 is not a multiple of the 16px tile: edge tiles have partial
         # rows and lanes.
-        assert_render_equivalent(random_scene(7), camera(width=70, height=52))
+        assert_render_equivalent(
+            random_scene(7), camera(width=70, height=52), packed_backend=backend
+        )
+
+    def test_packed_xp_numpy_is_bitwise_packed(self):
+        # On the numpy namespace the xp entry runs the very same kernels.
+        from repro.splat.backends import resolve_array_api_name
+
+        if resolve_array_api_name(None) != "numpy":
+            pytest.skip("packed-xp resolves a non-numpy namespace here")
+        model = random_scene(9)
+        pk = render(model, camera(), RenderConfig(backend="packed"))
+        xp = render(model, camera(), RenderConfig(backend="packed-xp"))
+        assert np.array_equal(pk.image, xp.image)
+        assert np.array_equal(pk.stats.dominated_pixels, xp.stats.dominated_pixels)
 
     def test_zero_splat_tiles(self):
         # A single tiny splat: almost every tile is empty.
@@ -118,8 +149,9 @@ class TestForwardEquivalence:
 
 
 class TestBackwardEquivalence:
+    @pytest.mark.parametrize("backend", PACKED_BACKENDS)
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_gradients_match(self, seed):
+    def test_gradients_match(self, seed, backend):
         model = random_scene(seed)
         cam = camera()
         projected, assignment = prepare_view(model, cam)
@@ -135,11 +167,11 @@ class TestBackwardEquivalence:
                 grad_image=image,
                 backend=be,
             )
-            for be in ("reference", "packed")
+            for be in ("reference", backend)
         }
         for field in ("color", "opacity", "log_scale"):
             ref = getattr(grads["reference"], field)
-            pk = getattr(grads["packed"], field)
+            pk = getattr(grads[backend], field)
             assert np.allclose(ref, pk, atol=TOL), field
 
     def test_gradients_with_background(self):
@@ -184,12 +216,13 @@ class TestFoveatedEquivalence:
             atol=TOL,
         )
 
-    def test_foveated_with_active_blend_bands(self, fmodel, train_cameras):
+    @pytest.mark.parametrize("backend", PACKED_BACKENDS)
+    def test_foveated_with_active_blend_bands(self, fmodel, train_cameras, backend):
         ref = render_foveated(
             fmodel, train_cameras[0], config=RenderConfig(backend="reference")
         )
         pk = render_foveated(
-            fmodel, train_cameras[0], config=RenderConfig(backend="packed")
+            fmodel, train_cameras[0], config=RenderConfig(backend=backend)
         )
         # The scenario must actually exercise the two-level blending path.
         assert ref.stats.blend_pixels > 0
@@ -338,9 +371,181 @@ class TestRowSpansSubset:
 
 
 class TestSceneEquivalenceAtScale:
-    def test_generated_scene_256(self):
+    @pytest.mark.parametrize("backend", PACKED_BACKENDS)
+    def test_generated_scene_256(self, backend):
         scene = generate_scene("garden", n_points=800)
         (train, _) = trace_cameras(
             "garden", n_train=1, n_eval=1, width=160, height=112
         )
-        assert_render_equivalent(scene, train[0])
+        assert_render_equivalent(scene, train[0], packed_backend=backend)
+
+
+class TestPooledSingleViewForward:
+    """``forward`` routes through the pooled batch-of-one kernels; it must
+    stay bit-identical to the historical unpooled pass (kept as
+    ``forward_unpooled``, the oracle)."""
+
+    @pytest.mark.parametrize("per_pixel_sort", [False, True])
+    def test_bitwise_identical_to_unpooled(self, per_pixel_sort):
+        model = random_scene(4, n=300)
+        projected, assignment = prepare_view(model, camera(width=70, height=52))
+        background = np.array([0.2, 0.4, 0.6])
+        engine = get_backend("packed")
+        pooled_img, pooled_dom = engine.forward(
+            projected, assignment, model.num_points, background, True,
+            per_pixel_sort,
+        )
+        plain_img, plain_dom = forward_unpooled(
+            projected, assignment, model.num_points, background, True,
+            per_pixel_sort,
+        )
+        assert np.array_equal(pooled_img, plain_img)
+        assert np.array_equal(pooled_dom, plain_dom)
+
+    def test_concurrent_renders_are_isolated(self):
+        # The backend is a process-wide singleton and ``forward`` now runs
+        # on its pooled arena; concurrent threads must not corrupt each
+        # other's scans (the workspace is thread-local).
+        import threading
+
+        model = random_scene(6, n=300)
+        projected, assignment = prepare_view(model, camera())
+        engine = get_backend("packed")
+        args = (projected, assignment, model.num_points, np.zeros(3), False, False)
+        expected, _ = engine.forward(*args)
+        failures = []
+
+        def worker():
+            for _ in range(10):
+                image, _ = engine.forward(*args)
+                if not np.array_equal(image, expected):
+                    failures.append("mismatch")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_repeated_renders_reuse_workspace(self):
+        model = random_scene(5)
+        projected, assignment = prepare_view(model, camera())
+        engine = get_backend("packed")
+        args = (projected, assignment, model.num_points, np.zeros(3), False, False)
+        first, _ = engine.forward(*args)
+        slots = dict(engine._ws._slots)
+        again, _ = engine.forward(*args)
+        # Same warm slots, same result: the pooled arena is actually shared.
+        assert slots and all(engine._ws._slots[k] is v for k, v in slots.items())
+        assert np.array_equal(first, again)
+
+
+class TestBackendRegistry:
+    def test_builtin_entries(self):
+        assert {i.name for i in backend_registry()} >= {
+            "packed", "packed-xp", "reference"
+        }
+        packed = backend_info("packed")
+        assert packed.has_forward_batch and packed.device == "cpu"
+        assert backend_info("packed-xp").device == "xp"
+        assert backend_info("reference").has_forward_batch
+
+    def test_unknown_backend_info_raises(self):
+        with pytest.raises(ValueError, match="unknown rasterization backend"):
+            backend_info("does-not-exist")
+
+    def test_describe_lists_everything(self):
+        table = describe_backends()
+        for name in available_backends():
+            assert name in table
+        assert "numpy" in table  # array namespaces advertised too
+
+    def test_supports_forward_batch_flags(self):
+        assert supports_forward_batch(get_backend("packed"))
+        assert supports_forward_batch(get_backend("packed-xp"))
+        assert supports_forward_batch(get_backend("reference"))
+
+    def test_supports_forward_batch_probes_unregistered(self):
+        class NoBatch:
+            name = "custom-nobatch"
+
+        class WithBatch:
+            name = "custom-batch"
+
+            def forward_batch(self, *a):  # pragma: no cover - probe target
+                return []
+
+        assert not supports_forward_batch(NoBatch())
+        assert supports_forward_batch(WithBatch())
+
+    def test_flagless_registration_probes_instance(self):
+        # PR 2 semantics: a legacy two-argument registration whose engine
+        # implements forward_batch must keep its batched dispatch.
+        import repro.splat.backends as backends
+
+        class LegacyBatched:
+            name = "test-legacy-batched"
+
+            def forward_batch(self, *a):  # pragma: no cover - probe target
+                return []
+
+        name = LegacyBatched.name
+        try:
+            register_backend(name, LegacyBatched)
+            assert backend_info(name).has_forward_batch is None
+            assert supports_forward_batch(get_backend(name))
+        finally:
+            backends._REGISTRY.pop(name, None)
+            backends._instances.pop(name, None)
+
+    def test_register_with_capabilities(self):
+        import repro.splat.backends as backends
+
+        name = "test-registry-entry"
+        try:
+            register_backend(
+                name, lambda: get_backend("reference"),
+                description="test entry", device="tpu", has_forward_batch=False,
+                experimental=True,
+            )
+            info = backend_info(name)
+            assert info.device == "tpu" and info.experimental
+            assert name in available_backends()
+            assert name in describe_backends()
+        finally:
+            backends._REGISTRY.pop(name, None)
+            backends._instances.pop(name, None)
+
+
+class TestSpanBudgetHardening:
+    """``REPRO_BATCH_SPAN_BUDGET`` must never crash or zero out the render
+    path: bad values warn and fall back to the default."""
+
+    @pytest.mark.parametrize("raw", ["banana", "12.5", "0", "-5", "  "])
+    def test_bad_values_fall_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH_SPAN_BUDGET", raw)
+        if raw.strip():
+            with pytest.warns(RuntimeWarning, match="REPRO_BATCH_SPAN_BUDGET"):
+                assert span_chunk_budget() == DEFAULT_SPAN_CHUNK_BUDGET
+        else:
+            assert span_chunk_budget() == DEFAULT_SPAN_CHUNK_BUDGET
+
+    def test_valid_value_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SPAN_BUDGET", "4096")
+        assert span_chunk_budget() == 4096
+        monkeypatch.delenv("REPRO_BATCH_SPAN_BUDGET")
+        assert span_chunk_budget() == DEFAULT_SPAN_CHUNK_BUDGET
+
+    def test_render_batch_survives_bad_budget(self, monkeypatch):
+        from repro.splat import render_batch
+
+        model = random_scene(2)
+        cams = [camera(), camera(width=70, height=52)]
+        config = RenderConfig(backend="packed")  # the budget is packed-only
+        clean = render_batch(model, cams, config)
+        monkeypatch.setenv("REPRO_BATCH_SPAN_BUDGET", "not-a-number")
+        with pytest.warns(RuntimeWarning, match="non-integer"):
+            bad = render_batch(model, cams, config)
+        for a, b in zip(clean, bad):
+            assert np.array_equal(a.image, b.image)

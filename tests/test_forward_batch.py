@@ -200,3 +200,66 @@ class TestViewCache:
         direct = render(small_scene, mixed_cameras[0])
         assert np.array_equal(via_prepared.image, direct.image)
         assert via_prepared.projected is prepared.projected
+
+
+class TestViewCacheEviction:
+    """LRU behaviour under ``maxsize`` pressure and counter correctness."""
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            ViewCache(maxsize=0)
+
+    def test_size_never_exceeds_maxsize(self, small_scene, mixed_cameras):
+        cache = ViewCache(maxsize=2)
+        cache.get_batch(small_scene, mixed_cameras)  # 4 poses through size 2
+        assert len(cache) == 2
+        assert cache.misses == len(mixed_cameras)
+        assert cache.hits == 0
+
+    def test_fifo_pressure_evicts_oldest(self, small_scene, mixed_cameras):
+        cache = ViewCache(maxsize=2)
+        a, b, c = mixed_cameras[:3]
+        cache.get(small_scene, a)
+        cache.get(small_scene, b)
+        cache.get(small_scene, c)  # evicts a (oldest, never re-used)
+        assert len(cache) == 2
+        cache.get(small_scene, b)
+        cache.get(small_scene, c)
+        assert cache.hits == 2  # b and c survived
+        cache.get(small_scene, a)
+        assert cache.misses == 4  # a was evicted and re-prepared
+
+    def test_lru_hit_refreshes_recency(self, small_scene, mixed_cameras):
+        cache = ViewCache(maxsize=2)
+        a, b, c = mixed_cameras[:3]
+        cache.get(small_scene, a)
+        cache.get(small_scene, b)
+        cache.get(small_scene, a)  # refresh a: b becomes the LRU entry
+        cache.get(small_scene, c)  # evicts b, not a
+        assert cache.hits == 1
+        cache.get(small_scene, a)
+        assert cache.hits == 2  # a survived the eviction
+        cache.get(small_scene, b)
+        assert cache.misses == 4  # b did not
+
+    def test_hit_returns_same_prepared_view_across_evictions(
+        self, small_scene, mixed_cameras
+    ):
+        cache = ViewCache(maxsize=2)
+        a, b, c = mixed_cameras[:3]
+        first = cache.get(small_scene, a)
+        cache.get(small_scene, b)
+        assert cache.get(small_scene, a) is first  # refreshed, same object
+        cache.get(small_scene, c)  # evicts b
+        assert cache.get(small_scene, a) is first  # still resident
+        assert cache.get(small_scene, b) is not first
+
+    def test_counters_across_repeated_pressure(self, small_scene, mixed_cameras):
+        cache = ViewCache(maxsize=2)
+        for _ in range(3):
+            cache.get_batch(small_scene, mixed_cameras)  # 4 poses, size 2
+        # Every pass misses all four poses: each batch pushes the previous
+        # entries out before they can be re-used (classic cycling).
+        assert cache.misses == 12
+        assert cache.hits == 0
+        assert len(cache) == 2

@@ -1,0 +1,315 @@
+"""The array-namespace kernel layer: resolution, workspace, equivalence.
+
+The numpy namespace is exercised everywhere (it is the default engine);
+these tests pin the resolution machinery and the namespace-owned
+workspace, and — when torch is installed — pin the torch namespace to the
+reference oracle within the backend-equivalence tolerance.  All torch
+tests skip cleanly when the package is absent (the CI matrix has one leg
+that installs CPU torch specifically to run them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.splat import Camera, RenderConfig, random_model, render, render_batch
+from repro.splat.backends import get_backend, set_array_api
+from repro.splat.backends.kernels import (
+    NumpyNamespace,
+    Workspace,
+    array_api_installed,
+    available_array_apis,
+    get_array_namespace,
+    resolve_array_api_name,
+    segment_transmittance_exclusive,
+    segmented_cumsum_exclusive,
+    set_default_array_api,
+)
+from repro.splat.backends.segments import SegmentIndex
+from repro.splat.renderer import prepare_view
+
+TOL = 1e-10
+
+
+def random_scene(seed: int, n: int = 200):
+    return random_model(n, np.random.default_rng(seed), extent=2.0)
+
+
+def camera(width=96, height=64) -> Camera:
+    return Camera.from_fov(
+        width=width,
+        height=height,
+        fov_x_deg=60.0,
+        position=np.array([0.0, 0.0, -4.0]),
+        look_at=np.array([0.0, 0.0, 0.0]),
+    )
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert resolve_array_api_name(None) in available_array_apis()
+        assert get_array_namespace().name in available_array_apis()
+
+    def test_numpy_is_singleton(self):
+        assert get_array_namespace("numpy") is get_array_namespace("numpy")
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_API", "cupy")
+        assert resolve_array_api_name("numpy") == "numpy"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_API", "torch")
+        assert resolve_array_api_name(None) == "torch"
+
+    def test_override_outranks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_API", "torch")
+        set_default_array_api("numpy")
+        try:
+            assert resolve_array_api_name(None) == "numpy"
+        finally:
+            set_default_array_api(None)
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(ValueError, match="unknown array namespace"):
+            get_array_namespace("jax")
+        with pytest.raises(ValueError, match="unknown array namespace"):
+            set_default_array_api("jax")
+
+    def test_installed_probe(self):
+        assert array_api_installed("numpy")
+
+    @pytest.mark.parametrize("name", ["torch", "cupy"])
+    def test_missing_package_raises_cleanly(self, name):
+        if array_api_installed(name):
+            pytest.skip(f"{name} is installed here")
+        with pytest.raises(RuntimeError, match="not installed"):
+            get_array_namespace(name)
+
+    def test_set_array_api_refreshes_packed_xp(self):
+        first = get_backend("packed-xp")
+        set_array_api("numpy")
+        try:
+            second = get_backend("packed-xp")
+            assert second is not first
+            assert second.nsx.name == "numpy"
+        finally:
+            set_array_api(None)
+
+
+class TestWorkspace:
+    def test_slot_reuse_and_growth(self):
+        ws = Workspace()
+        a = ws.take("slot", (4, 8))
+        assert a.shape == (4, 8)
+        b = ws.take("slot", (2, 8))  # smaller: sliced from the same buffer
+        assert b.base is ws._slots["slot"]
+        assert a.base is ws._slots["slot"]
+        big = ws.take("slot", (64, 64))  # larger: grown with headroom
+        assert big.size == 64 * 64
+        assert ws._slots["slot"].size >= 64 * 64
+
+    def test_dtype_switch_reallocates(self):
+        ws = Workspace()
+        f = ws.take("slot", (8,))
+        i = ws.take("slot", (8,), np.int64)
+        assert i.dtype == np.int64
+        assert f.dtype == np.float64
+
+    def test_trim_drops_slots(self):
+        ws = Workspace()
+        ws.take("slot", (8,))
+        ws.trim()
+        assert not ws._slots
+
+    def test_namespace_owned(self):
+        nsx = NumpyNamespace()
+        ws = Workspace(nsx)
+        assert ws.nsx is nsx
+        assert isinstance(ws.take("slot", (3, 3)), np.ndarray)
+
+    def test_slots_are_thread_local(self):
+        import threading
+
+        ws = Workspace()
+        mine = ws.take("slot", (8,))
+        theirs = {}
+
+        def worker():
+            theirs["buf"] = ws.take("slot", (8,))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        # Two threads never share a scan buffer from the same arena.
+        assert theirs["buf"].base is not mine.base
+
+
+def _render_equivalent(model, cam, backend, **config_kwargs):
+    ref = render(model, cam, RenderConfig(backend="reference", **config_kwargs))
+    got = render(model, cam, RenderConfig(backend=backend, **config_kwargs))
+    assert np.abs(ref.image - got.image).max() < TOL
+    if ref.stats is not None:
+        assert np.array_equal(ref.stats.dominated_pixels, got.stats.dominated_pixels)
+    return ref, got
+
+
+class TestTorchNamespace:
+    """Torch drop-in equivalence; every test skips when torch is absent."""
+
+    @pytest.fixture(scope="class")
+    def nsx(self):
+        pytest.importorskip("torch")
+        from repro.splat.backends.kernels import TorchNamespace
+
+        return TorchNamespace(device="cpu")
+
+    @pytest.fixture()
+    def torch_backend(self, nsx):
+        from repro.splat.backends.packed import PackedBackend
+
+        return PackedBackend(array_namespace=nsx, name="packed-xp")
+
+    def test_segment_scan_matches_numpy(self, nsx):
+        rng = np.random.default_rng(0)
+        lens = rng.integers(0, 7, size=20)
+        index = SegmentIndex.from_lengths(lens)
+        values = rng.normal(size=(3, int(lens.sum())))
+        excl_np, tot_np = segmented_cumsum_exclusive(values, index)
+        excl_t, tot_t = segmented_cumsum_exclusive(
+            nsx.asarray(values.copy()), index, nsx=nsx
+        )
+        np.testing.assert_allclose(nsx.to_numpy(excl_t), excl_np, atol=1e-12)
+        np.testing.assert_allclose(nsx.to_numpy(tot_t), tot_np, atol=1e-12)
+
+    def test_transmittance_scan_matches_numpy(self, nsx):
+        rng = np.random.default_rng(1)
+        lens = rng.integers(1, 9, size=16)
+        index = SegmentIndex.from_lengths(lens)
+        alphas = rng.uniform(0.0, 0.999, size=(2, int(lens.sum())))
+        trans_np = segment_transmittance_exclusive(alphas.copy(), index)
+        trans_t = segment_transmittance_exclusive(nsx.asarray(alphas.copy()), index, nsx=nsx)
+        np.testing.assert_allclose(nsx.to_numpy(trans_t), trans_np, atol=1e-12)
+        # Every segment starts at an exact 1.0 on both namespaces.
+        assert np.all(nsx.to_numpy(trans_t)[:, index.starts] == 1.0)
+
+    def test_segment_reductions_match_numpy(self, nsx):
+        rng = np.random.default_rng(2)
+        lens = rng.integers(1, 6, size=12)
+        index = SegmentIndex.from_lengths(lens)
+        values = rng.normal(size=(4, int(lens.sum())))
+        seg_np = NumpyNamespace().segments(index)
+        seg_t = nsx.segments(index)
+        vt = nsx.asarray(values)
+        np_ns = NumpyNamespace()
+        np.testing.assert_allclose(
+            nsx.to_numpy(nsx.segment_sum(vt, seg_t)),
+            np_ns.segment_sum(values, seg_np),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            nsx.to_numpy(nsx.segment_max(vt, seg_t)),
+            np_ns.segment_max(values, seg_np),
+        )
+        np.testing.assert_allclose(
+            nsx.to_numpy(nsx.segment_min(vt, seg_t)),
+            np_ns.segment_min(values, seg_np),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_forward_matches_reference(self, torch_backend, seed):
+        from repro.splat.rasterizer import rasterize
+
+        model = random_scene(seed)
+        projected, assignment = prepare_view(model, camera(width=70, height=52))
+        ref_img, ref_stats = rasterize(
+            projected, assignment, model.num_points, backend="reference"
+        )
+        got_img, got_stats = rasterize(
+            projected, assignment, model.num_points, backend=torch_backend
+        )
+        assert np.abs(ref_img - got_img).max() < TOL
+        assert np.array_equal(
+            ref_stats.dominated_pixels, got_stats.dominated_pixels
+        )
+
+    def test_forward_per_pixel_sort(self, torch_backend):
+        from repro.splat.rasterizer import rasterize
+
+        model = random_scene(3)
+        projected, assignment = prepare_view(model, camera())
+        ref_img, _ = rasterize(
+            projected, assignment, model.num_points, backend="reference",
+            per_pixel_sort=True,
+        )
+        got_img, _ = rasterize(
+            projected, assignment, model.num_points, backend=torch_backend,
+            per_pixel_sort=True,
+        )
+        assert np.abs(ref_img - got_img).max() < TOL
+
+    def test_forward_batch_matches_reference(self, torch_backend):
+        from repro.splat.rasterizer import rasterize_batch
+
+        model = random_scene(4)
+        cams = [camera(), camera(width=48, height=80), camera(width=80, height=48)]
+        views = [tuple(prepare_view(model, c)) for c in cams]
+        ref = rasterize_batch(views, num_points=model.num_points, backend="reference")
+        got = rasterize_batch(views, num_points=model.num_points, backend=torch_backend)
+        for (ri, rs), (gi, gs) in zip(ref, got):
+            assert np.abs(ri - gi).max() < TOL
+            assert np.array_equal(rs.dominated_pixels, gs.dominated_pixels)
+
+    def test_backward_matches_reference(self, torch_backend):
+        from repro.splat.rasterizer import rasterize, rasterize_backward
+
+        model = random_scene(5)
+        cam = camera(width=70, height=52)
+        projected, assignment = prepare_view(model, cam)
+        grad_image = np.random.default_rng(0).normal(size=(cam.height, cam.width, 3))
+        background = np.array([0.3, 0.1, 0.8])
+        ref = rasterize_backward(
+            projected, assignment, model.num_points, grad_image=grad_image,
+            background=background, backend="reference",
+        )
+        got = rasterize_backward(
+            projected, assignment, model.num_points, grad_image=grad_image,
+            background=background, backend=torch_backend,
+        )
+        for field in ("color", "opacity", "log_scale"):
+            assert np.allclose(
+                getattr(ref, field), getattr(got, field), atol=TOL
+            ), field
+
+    def test_foveated_matches_reference(self, nsx, torch_backend):
+        from repro.foveation import render_foveated, uniform_foveated_model
+        from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+        from repro.scenes import generate_scene, trace_cameras
+
+        scene = generate_scene("kitchen", n_points=160)
+        train, _ = trace_cameras("kitchen", n_train=1, n_eval=1, width=96, height=64)
+        fmodel = uniform_foveated_model(
+            scene, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS
+        )
+        ref = render_foveated(
+            fmodel, train[0], config=RenderConfig(backend="reference")
+        )
+        got = render_foveated(
+            fmodel, train[0], config=RenderConfig(backend=torch_backend)
+        )
+        assert np.abs(ref.image - got.image).max() < TOL
+        assert ref.stats.blend_pixels == got.stats.blend_pixels
+
+    def test_render_batch_via_registry(self, nsx, monkeypatch):
+        # End-to-end: REPRO_ARRAY_API=torch resolved through the registry.
+        monkeypatch.setenv("REPRO_TORCH_DEVICE", "cpu")
+        set_array_api("torch")
+        try:
+            model = random_scene(6)
+            cams = [camera(), camera(width=48, height=80)]
+            got = render_batch(model, cams, RenderConfig(backend="packed-xp"))
+            ref = [
+                render(model, c, RenderConfig(backend="reference")) for c in cams
+            ]
+            for r, g in zip(ref, got):
+                assert np.abs(r.image - g.image).max() < TOL
+        finally:
+            set_array_api(None)
