@@ -13,6 +13,13 @@ trajectory's poses (one concatenated segmented scan) against the sequential
 per-view loop, both on cached ``PreparedView``s so the comparison isolates
 the rasterization work that batching amortizes.
 
+A third table tracks the batched *foveated* path: ``render_foveated_batch``
+over a gaze trajectory (the pose's projection prefix shared by every
+sample, all frames' level passes in one concatenated scan) against the
+pre-PR consumer loop of one ``render_foveated`` per gaze.  This comparison
+gates in ``--quick`` mode (≥1.15x) — eliminating the per-frame projection
+re-run is a structural win, not a timing coin-flip.
+
 Select a backend for the *other* benchmarks with ``REPRO_BACKEND``; run
 with ``--quick`` for a CI-sized smoke pass of the same assertions.
 """
@@ -25,7 +32,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.scenes import generate_scene, trace_cameras
+from repro.foveation import (
+    render_foveated,
+    render_foveated_batch,
+    uniform_foveated_model,
+)
+from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+from repro.scenes import gaze_trajectory, generate_scene, trace_cameras
 from repro.splat import RenderConfig, ViewCache, prepare_view, render, render_batch
 from repro.splat.backends import get_backend
 from repro.splat.backends.packed import forward_unpooled
@@ -39,6 +52,9 @@ REPS = 5
 # Batched-path workload: >= 8 trajectory poses sharing one segmented scan.
 BATCH_VIEWS = 8
 BATCH_SIZE_PX = 160
+
+# Foveated gaze-trajectory workload: one pose, several gaze samples.
+FOV_GAZE_FRAMES = 8
 
 QUICK_SCALE = dict(size=96, points=512, reps=4)
 
@@ -282,6 +298,84 @@ def test_backend_speedup(rows, scale, benchmark):
         assert ref_ms / packed_ms >= 2.0, f"{label}: {ref_ms / packed_ms:.2f}x"
         label, ref_ms, packed_ms, _ = rows[-1]
         assert packed_ms <= ref_ms * 1.6, f"{label}: {ref_ms / packed_ms:.2f}x"
+
+
+@pytest.fixture(scope="module")
+def foveated_rows(scale):
+    """Batched gaze-trajectory foveated rendering vs the pre-PR loop.
+
+    The baseline is exactly what every multi-frame foveated consumer ran
+    before ``render_foveated_batch`` existed: one ``render_foveated`` call
+    per gaze sample, re-running the pose's Projection/Tiling/Sorting prefix
+    every frame.  The batched path prepares the pose once and pushes all
+    gaze samples' level passes through one concatenated span scan.
+    """
+    size = min(scale["size"], BATCH_SIZE_PX)
+    scene = _scene(0.15, scale["points"], size)
+    camera = _cameras(size)[0]
+    fmodel = uniform_foveated_model(scene, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
+    gazes = [
+        tuple(g) for g in gaze_trajectory(size, size, FOV_GAZE_FRAMES, seed=0)
+    ]
+    config = RenderConfig(backend="packed")
+
+    def per_frame_loop():
+        return [
+            render_foveated(fmodel, camera, gaze=gaze, config=config)
+            for gaze in gazes
+        ]
+
+    def batched():
+        return render_foveated_batch(fmodel, camera, gazes=gazes, config=config)
+
+    def best_ms(fn):
+        fn(), fn()  # warm-up (incl. the span workspace)
+        times = []
+        for _ in range(2 * scale["reps"]):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times) * 1e3
+
+    loop_ms = best_ms(per_frame_loop)
+    bat_ms = best_ms(batched)
+    diff = max(
+        float(np.abs(a.image - b.image).max())
+        for a, b in zip(per_frame_loop(), batched())
+    )
+    return dict(
+        frames=len(gazes),
+        size=size,
+        loop_ms=loop_ms,
+        bat_ms=bat_ms,
+        diff=diff,
+        tag=scale["tag"],
+    )
+
+
+def test_foveated_batch_speedup(foveated_rows, quick):
+    r = foveated_rows
+    speedup = r["loop_ms"] / r["bat_ms"]
+    report(
+        f"Foveated gaze-trajectory batching{r['tag']}",
+        [
+            f"{r['frames']} gaze samples of one pose at {r['size']}x{r['size']}, "
+            "packed backend",
+            f"{'path':<30} {'per trajectory':>14}",
+            f"{'per-frame loop (pre-PR)':<30} {r['loop_ms']:12.1f}ms",
+            f"{'render_foveated_batch':<30} {r['bat_ms']:12.1f}ms",
+            f"speedup: {speedup:.2f}x",
+        ],
+    )
+    # Every batched frame must match its own per-frame render (they run the
+    # same staged span kernels; the scan segments are exact per frame).
+    assert r["diff"] < 1e-10
+    # The gaze-trajectory throughput gate: the batched path shares one
+    # projection prefix across the whole scanpath, so the win is structural
+    # and holds on shared CI runners — enforced in the --quick smoke step
+    # (and under REPRO_BENCH_STRICT at acceptance scale).
+    if quick or os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert speedup >= 1.15, f"foveated batch: {speedup:.2f}x"
 
 
 def test_batched_speedup(batch_rows):

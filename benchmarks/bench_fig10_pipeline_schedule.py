@@ -12,7 +12,10 @@ from repro.accel import (
     METASAPIENS_BASE,
     METASAPIENS_TM,
     METASAPIENS_TM_IP,
+    foveated_sort_work,
+    foveated_tile_counts,
     simulate_pipeline,
+    spans_to_sort_work,
     spans_to_tile_counts,
 )
 from repro.foveation import render_foveated
@@ -67,11 +70,32 @@ def test_fig10_real_frame(env, benchmark):
     # Span-driven row: the packed engine's row spans carry the per-row
     # fragment counts the paper's Sorting/Rasterization stages stream, so
     # the simulator runs on the workload a real frame produces instead of
-    # the synthetic full-tile intersection aggregate.
+    # the synthetic full-tile intersection aggregate.  The sorting stage
+    # is additionally priced from the span *group* lengths (the per-row
+    # fragment lists the rate-matched sorter emits) rather than the
+    # synthetic n·log n over intersection counts.
     projected, assignment = prepare_view(setup.scene, setup.eval_cameras[0])
     spans = build_row_spans(projected, build_segments(assignment))
     span_ints = spans_to_tile_counts(spans, units="intersections")
     tm_ip_spans = simulate_pipeline(span_ints, METASAPIENS_TM_IP)
+    tm_ip_sorted = simulate_pipeline(
+        span_ints, METASAPIENS_TM_IP, sort_work_per_tile=spans_to_sort_work(spans)
+    )
+
+    # Foveated rows: the per-level filtered span lists the foveated frame
+    # surfaced are the true post-filtering workload (ROADMAP's "deeper
+    # accelerator alignment" hook) — not the dense view's spans.
+    if result.level_spans is None:  # e.g. running under REPRO_BACKEND=reference
+        from repro.splat import RenderConfig
+
+        result = render_foveated(
+            fr, setup.eval_cameras[0], config=RenderConfig(backend="packed")
+        )
+    fov_ints = foveated_tile_counts(result.level_spans)
+    tm_ip_fov = simulate_pipeline(
+        fov_ints, METASAPIENS_TM_IP,
+        sort_work_per_tile=foveated_sort_work(result.level_spans),
+    )
 
     report(
         "Fig 10 pipeline schedule (real foveated frame, bicycle)",
@@ -80,6 +104,8 @@ def test_fig10_real_frame(env, benchmark):
             schedule_row("TM", tm),
             schedule_row("TM+IP", tm_ip),
             schedule_row("TM+IP (span-driven)", tm_ip_spans),
+            schedule_row("TM+IP (span-sorted)", tm_ip_sorted),
+            schedule_row("TM+IP (foveated spans)", tm_ip_fov),
         ],
     )
     assert tm.total_cycles <= base.total_cycles
@@ -89,3 +115,10 @@ def test_fig10_real_frame(env, benchmark):
     # positive and no larger than charging every intersection a full tile.
     assert span_ints.sum() > 0
     assert span_ints.sum() <= assignment.intersections_per_tile().sum()
+    # Span-group sorting only reprices the sorting stage.
+    assert tm_ip_sorted.raster_busy_cycles == tm_ip_spans.raster_busy_cycles
+    assert tm_ip_sorted.sort_busy_cycles != tm_ip_spans.sort_busy_cycles
+    assert tm_ip_sorted.total_cycles > 0
+    # The foveated frame's filtered spans are the post-filtering workload:
+    # positive, and never exceeding the frame's raster-intersection charge.
+    assert 0 < fov_ints.sum() <= ints.sum() + 1e-9

@@ -15,7 +15,7 @@ import numpy as np
 from repro.compress import compress_model
 from repro.core import compute_ce, prune_lowest_ce
 from repro.baselines import make_mini_splatting_d
-from repro.foveation import RegionLayout, render_foveated, uniform_foveated_model
+from repro.foveation import RegionLayout, render_foveated_batch, uniform_foveated_model
 from repro.perf import DEFAULT_GPU, workload_from_fr
 from repro.scenes import gaze_trajectory, generate_scene, saccade_frames, trace_cameras
 from repro.splat import render
@@ -42,9 +42,14 @@ def main() -> None:
     saccades = saccade_frames(gaze)
     print(f"scanpath: {n_frames} frames, {saccades.sum()} saccade frames")
 
+    # All sampled frames render through one batched foveated pass: the
+    # pose's projection prefix runs once for the whole scanpath.
+    frames = list(range(0, n_frames, 5))
+    results = render_foveated_batch(
+        fmodel, cam, gazes=[tuple(gaze[f]) for f in frames]
+    )
     fps_values = []
-    for f in range(0, n_frames, 5):
-        result = render_foveated(fmodel, cam, gaze=tuple(gaze[f]))
+    for f, result in zip(frames, results):
         fps = DEFAULT_GPU.fps(workload_from_fr(result.stats))
         fps_values.append(fps)
         marker = "saccade" if saccades[f] else "fixation"

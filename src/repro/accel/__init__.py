@@ -27,7 +27,12 @@ from .energy import (
 )
 from .pipeline_sim import PipelineResult, simulate_pipeline, stage_cycles
 from .scale import GPU_EFFECTIVE_GOPS, WORKLOAD_SCALE
-from .spans import spans_to_tile_counts
+from .spans import (
+    foveated_sort_work,
+    foveated_tile_counts,
+    spans_to_sort_work,
+    spans_to_tile_counts,
+)
 from .tile_merge import MergedTiles, auto_threshold, identity_merge, merge_tiles
 
 __all__ = [
@@ -54,6 +59,8 @@ __all__ = [
     "area_mm2",
     "auto_threshold",
     "energy_reduction",
+    "foveated_sort_work",
+    "foveated_tile_counts",
     "geomean_speedup",
     "gpu_energy_mj",
     "identity_merge",
@@ -61,6 +68,7 @@ __all__ = [
     "reference_areas",
     "run_accelerator",
     "simulate_pipeline",
+    "spans_to_sort_work",
     "spans_to_tile_counts",
     "sram_kb",
     "sram_pj_per_byte",

@@ -67,15 +67,22 @@ def run_accelerator(
     merge_threshold: float | None = None,
     dram: DRAMModel | None = None,
     include_dram: bool = False,
+    sort_work_per_tile: np.ndarray | None = None,
 ) -> AcceleratorRun:
     """Simulate one frame and compare against the GPU reference.
 
     ``intersections_per_tile`` carries the spatial workload distribution the
     pipeline schedules over; ``workload`` carries the aggregate counts the
     GPU model prices.  Both come from the same render.
+    ``sort_work_per_tile`` optionally prices the sorting stage from a
+    measured workload (e.g. span group lengths) — see
+    :func:`repro.accel.pipeline_sim.simulate_pipeline`.
     """
     gpu = gpu or GPUModel()
-    pipeline = simulate_pipeline(intersections_per_tile, config, merge_threshold)
+    pipeline = simulate_pipeline(
+        intersections_per_tile, config, merge_threshold,
+        sort_work_per_tile=sort_work_per_tile,
+    )
     compute_ms = accel_latency_ms(pipeline, config)
     dram_ms = dram_time_ms(workload, config, dram)
     latency = max(compute_ms, dram_ms) if include_dram else compute_ms

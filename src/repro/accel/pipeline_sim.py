@@ -55,14 +55,26 @@ def stage_cycles(
     group_counts: np.ndarray,
     group_sizes: np.ndarray,
     config: AcceleratorConfig,
+    sort_work: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(projection, sorting, rasterization) cycles per scheduled tile."""
+    """(projection, sorting, rasterization) cycles per scheduled tile.
+
+    ``sort_work`` overrides the sorting stage's synthetic
+    ``n · ceil(log2 n)`` estimate with a measured per-group element-step
+    workload (e.g. :func:`repro.accel.spans.spans_to_sort_work`'s span
+    group lengths); it shares the estimate's units, so both divide by the
+    same sorter throughput.
+    """
     n = np.asarray(group_counts, dtype=np.float64)
     sizes = np.asarray(group_sizes, dtype=np.float64)
 
     proj = n / config.num_ccu
-    log_n = np.ceil(np.log2(np.maximum(n, 2.0)))
-    sort = n * log_n / (config.sort_lanes * config.num_sort_units)
+    if sort_work is None:
+        log_n = np.ceil(np.log2(np.maximum(n, 2.0)))
+        sort_work = n * log_n
+    else:
+        sort_work = np.asarray(sort_work, dtype=np.float64)
+    sort = sort_work / (config.sort_lanes * config.num_sort_units)
     # A VRC array smaller than a tile needs several passes per splat; an
     # array larger than a tile rasterizes several splats in parallel
     # (sub-array replication), hence the fractional pass count.
@@ -75,20 +87,45 @@ def simulate_pipeline(
     intersections_per_tile: np.ndarray,
     config: AcceleratorConfig,
     merge_threshold: float | None = None,
+    sort_work_per_tile: np.ndarray | None = None,
 ) -> PipelineResult:
-    """Simulate one frame; returns makespan and per-stage busy time."""
-    counts = np.asarray(intersections_per_tile, dtype=np.float64)
-    counts = counts[counts > 0]
+    """Simulate one frame; returns makespan and per-stage busy time.
+
+    ``sort_work_per_tile`` drives the sorting stage from a measured
+    per-tile workload (aligned with ``intersections_per_tile``; see
+    :func:`stage_cycles`) instead of the synthetic count-based estimate.
+    It is aggregated over merged tiles exactly like the counts; work on
+    tiles whose intersection count is zero is dropped with them.
+    """
+    all_counts = np.asarray(intersections_per_tile, dtype=np.float64)
+    sort_work = None
+    if sort_work_per_tile is not None:
+        sort_work = np.asarray(sort_work_per_tile, dtype=np.float64)
+        if sort_work.shape != all_counts.shape:
+            raise ValueError(
+                f"sort_work_per_tile must align with intersections_per_tile: "
+                f"{sort_work.shape} vs {all_counts.shape}"
+            )
+    nonzero = all_counts > 0
+    counts = all_counts[nonzero]
     if counts.size == 0:
         return PipelineResult(0.0, 0.0, 0.0, 0, config)
+    if sort_work is not None:
+        sort_work = sort_work[nonzero]
 
     if config.tile_merge:
         beta = merge_threshold if merge_threshold is not None else auto_threshold(counts)
         merged: MergedTiles = merge_tiles(counts, beta)
     else:
         merged = identity_merge(counts)
+    if sort_work is not None:
+        sort_work = np.bincount(
+            merged.group_of_tile, weights=sort_work, minlength=merged.num_groups
+        )
 
-    proj, sort, raster = stage_cycles(merged.group_counts, merged.group_sizes, config)
+    proj, sort, raster = stage_cycles(
+        merged.group_counts, merged.group_sizes, config, sort_work=sort_work
+    )
     k = merged.num_groups
 
     end_proj = np.zeros(k)

@@ -47,3 +47,65 @@ def spans_to_tile_counts(
     if units == "intersections":
         return counts / float(grid.tile_size)
     raise ValueError(f"unknown units {units!r}; expected 'spans' or 'intersections'")
+
+
+def spans_to_sort_work(spans: RowSpans) -> np.ndarray:
+    """Per-tile sorting workload from the span *group* lengths.
+
+    The incremental pipeline's hierarchical merge sorter emits per-row
+    fragment streams: each ``(tile, row)`` group of ``n`` spans costs
+    ``n · ceil(log2 max(n, 2))`` element-steps, the same units as the
+    synthetic per-tile ``n · ceil(log2 n)`` the simulator's sorting stage
+    otherwise charges on intersection counts.  Feed the result to
+    :func:`repro.accel.pipeline_sim.simulate_pipeline` via
+    ``sort_work_per_tile=`` to price sorting from the fragment lists a real
+    frame streams.
+    """
+    grid = spans.seg.grid
+    out = np.zeros(grid.num_tiles, dtype=np.float64)
+    if spans.num_spans == 0:
+        return out
+    lens = spans.groups.lens.astype(np.float64)
+    work = lens * np.ceil(np.log2(np.maximum(lens, 2.0)))
+    np.add.at(out, spans.group_tile, work)
+    return out
+
+
+def foveated_tile_counts(
+    level_spans: dict[int, RowSpans], units: str = "intersections"
+) -> np.ndarray:
+    """Per-tile rasterization workload of a real *foveated* frame.
+
+    ``level_spans`` is the per-level filtered span dict a span-based
+    backend surfaces on :class:`repro.foveation.FRRenderResult` — level
+    ``t`` holds exactly the fragments the primary pass rasterized in
+    level-``t`` tiles after quality-bound filtering.  Levels partition the
+    tile grid, so summing their per-tile counts yields the frame's true
+    post-filtering workload (blend-band second passes are charged via the
+    frame's ``raster_intersections_per_tile`` statistics instead).
+    """
+    if not level_spans:
+        raise ValueError(
+            "empty level_spans; the selected backend does not surface "
+            "foveated span lists (the reference oracle reports None)"
+        )
+    total = None
+    for spans in level_spans.values():
+        counts = spans_to_tile_counts(spans, units=units)
+        total = counts if total is None else total + counts
+    return total
+
+
+def foveated_sort_work(level_spans: dict[int, RowSpans]) -> np.ndarray:
+    """Per-tile sorting workload of a real foveated frame (see
+    :func:`spans_to_sort_work`), summed over the level-partitioned tiles."""
+    if not level_spans:
+        raise ValueError(
+            "empty level_spans; the selected backend does not surface "
+            "foveated span lists (the reference oracle reports None)"
+        )
+    total = None
+    for spans in level_spans.values():
+        work = spans_to_sort_work(spans)
+        total = work if total is None else total + work
+    return total

@@ -114,11 +114,14 @@ def cmd_prune(args: argparse.Namespace) -> int:
 
 
 def cmd_foveate(args: argparse.Namespace) -> int:
+    import numpy as np
+
     from .baselines import make_mini_splatting_d
-    from .foveation import render_foveated
+    from .foveation import render_foveated, render_foveated_batch
     from .harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
     from .foveation import uniform_foveated_model
     from .perf import DEFAULT_GPU, workload_from_fr, workload_from_render
+    from .scenes import gaze_trajectory
     from .splat import render
 
     setup = _setup(args)
@@ -137,6 +140,23 @@ def cmd_foveate(args: argparse.Namespace) -> int:
           f"({fr.stats.total_raster_intersections:.0f} ints, "
           f"{fr.stats.blend_pixels} blend px)")
     print(f"FR speedup: {fps_fr / fps_full:.2f}x")
+
+    # Dynamic foveation: a simulated scanpath rendered in one batched
+    # foveated pass (the pose's projection prefix is shared by every gaze
+    # sample instead of re-running per frame).
+    gazes = [
+        tuple(g)
+        for g in gaze_trajectory(
+            args.width, args.height, args.gaze_frames, seed=args.seed
+        )
+    ]
+    traj = render_foveated_batch(
+        fmodel, setup.eval_cameras[0], gazes=gazes, batch_size=args.batch_size
+    )
+    traj_fps = [DEFAULT_GPU.fps(workload_from_fr(r.stats)) for r in traj]
+    print(f"gaze trajectory ({len(traj)} frames, batched): "
+          f"{min(traj_fps):.1f} / {np.mean(traj_fps):.1f} / {max(traj_fps):.1f} "
+          f"FPS (min/mean/max)")
     return 0
 
 
@@ -168,6 +188,21 @@ def cmd_accel(args: argparse.Namespace) -> int:
         run = run_accelerator(ints, workload, config)
         print(f"{config.name:<20} {run.speedup:7.1f}x {run.utilization:6.2f} "
               f"{area_mm2(config):6.2f} {energy_reduction(workload, config):7.1f}x")
+
+    if fr.level_spans:
+        # Span-driven row: the foveated frame's per-level filtered span
+        # lists carry the fragments the pipeline actually streams; sorting
+        # is additionally priced from the span group lengths.
+        from .accel import foveated_sort_work, foveated_tile_counts
+
+        span_ints = foveated_tile_counts(fr.level_spans)
+        run = run_accelerator(
+            span_ints, workload, METASAPIENS_TM_IP,
+            sort_work_per_tile=foveated_sort_work(fr.level_spans),
+        )
+        print(f"{'TM-IP (span-driven)':<20} {run.speedup:7.1f}x "
+              f"{run.utilization:6.2f} {area_mm2(METASAPIENS_TM_IP):6.2f} "
+              f"{energy_reduction(workload, METASAPIENS_TM_IP):7.1f}x")
     return 0
 
 
@@ -193,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fov = sub.add_parser("foveate", help="foveated vs full render workload")
     _common_args(p_fov)
     p_fov.add_argument("--keep", type=float, default=0.4, help="L1 keep fraction")
+    p_fov.add_argument(
+        "--gaze-frames",
+        type=int,
+        default=8,
+        help="scanpath length of the batched gaze-trajectory sweep",
+    )
 
     p_accel = sub.add_parser("accel", help="accelerator design-space summary")
     _common_args(p_accel)

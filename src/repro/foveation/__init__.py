@@ -1,7 +1,13 @@
 """MetaSapiens contribution #2: foveated rendering for PBNR (paper Sec 4)."""
 
 from .baselines import make_mmfr, make_smfr, mmfr_storage_bytes, smfr_storage_bytes
-from .fr_renderer import FRRenderResult, FRRenderStats, render_foveated, render_multi_model
+from .fr_renderer import (
+    FRRenderResult,
+    FRRenderStats,
+    render_foveated,
+    render_foveated_batch,
+    render_multi_model,
+)
 from .hierarchy import MULTI_VERSIONED_PARAMS, FoveatedModel, uniform_foveated_model
 from .regions import (
     PAPER_REGION_BOUNDARIES_DEG,
@@ -39,6 +45,7 @@ __all__ = [
     "region_masks",
     "region_pixel_fractions",
     "render_foveated",
+    "render_foveated_batch",
     "render_multi_model",
     "smfr_storage_bytes",
     "uniform_foveated_model",

@@ -15,22 +15,28 @@ sorted level-1 tile lists serve every level).  The multi-model baseline
 (MMFR) has no such sharing and re-runs projection per level —
 :func:`render_multi_model` charges that cost explicitly.
 
-Both functions are thin orchestrators: the pixel work is delegated to the
+All entry points are thin orchestrators: the pixel work is delegated to the
 rasterization backend selected by ``config.backend`` (see
 :mod:`repro.splat.backends`), which reuses the frame's packed intersection
 segments for level filtering and band blending instead of a per-tile loop.
+Multi-frame foveated consumers (gaze trajectories, the harness, FPS
+benchmarks) render through :func:`render_foveated_batch`, which shares each
+pose's view-preparation prefix across its gaze samples and hands whole
+batches of frames to backends implementing ``foveated_frame_batch``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Sequence
 
 import numpy as np
 
-from ..splat.backends import get_backend
+from ..splat.backends import get_backend, supports_foveated_batch
+from ..splat.backends.segments import RowSpans
 from ..splat.camera import Camera
 from ..splat.gaussians import GaussianModel
-from ..splat.renderer import PreparedView, RenderConfig, prepare_view
+from ..splat.renderer import PreparedView, RenderConfig, ViewCache, prepare_view
 from .hierarchy import FoveatedModel
 from .regions import RegionLayout, RegionMaps, compute_region_maps
 
@@ -58,9 +64,49 @@ class FRRenderStats:
 
 @dataclasses.dataclass
 class FRRenderResult:
+    """One foveated frame: clipped image, workload stats, region maps.
+
+    ``level_spans`` surfaces the per-level filtered row-span lists the
+    backend actually rasterized (span-based engines only; ``None`` on the
+    ``reference`` oracle) — the real foveated workload
+    :func:`repro.accel.spans_to_tile_counts` consumes.
+    """
+
     image: np.ndarray  # (H, W, 3)
     stats: FRRenderStats
     maps: RegionMaps
+    level_spans: dict[int, RowSpans] | None = None
+
+
+def _level_tables(
+    fmodel: FoveatedModel,
+) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+    """The multi-versioned per-level parameter tables every frame shares."""
+    n_levels = fmodel.num_levels
+    level_opacity = {t: fmodel.level_opacities(t) for t in range(1, n_levels + 1)}
+    level_delta = {t: fmodel.level_color_delta(t) for t in range(1, n_levels + 1)}
+    return level_opacity, level_delta
+
+
+def _frame_result(
+    fmodel: FoveatedModel, prepared: PreparedView, maps: RegionMaps, frame
+) -> FRRenderResult:
+    """Assemble the public result from one backend frame."""
+    stats = FRRenderStats(
+        sort_intersections_per_tile=frame.sort_intersections_per_tile,
+        raster_intersections_per_tile=frame.raster_intersections_per_tile,
+        tile_levels=maps.tile_level,
+        blend_pixels=frame.blend_pixels,
+        num_projected=prepared.projected.num_visible,
+        projection_runs=1,
+        num_points=fmodel.num_points,
+    )
+    return FRRenderResult(
+        image=np.clip(frame.image, 0.0, 1.0),
+        stats=stats,
+        maps=maps,
+        level_spans=frame.level_spans,
+    )
 
 
 def render_foveated(
@@ -82,12 +128,8 @@ def render_foveated(
     if prepared is None:
         prepared = prepare_view(fmodel.base, camera, config)
     projected, assignment = prepared
-    grid = assignment.grid
-    maps = compute_region_maps(camera, grid, fmodel.layout, gaze)
-
-    n_levels = fmodel.num_levels
-    level_opacity = {t: fmodel.level_opacities(t) for t in range(1, n_levels + 1)}
-    level_delta = {t: fmodel.level_color_delta(t) for t in range(1, n_levels + 1)}
+    maps = compute_region_maps(camera, assignment.grid, fmodel.layout, gaze)
+    level_opacity, level_delta = _level_tables(fmodel)
 
     engine = get_backend(config.backend)
     frame = engine.foveated_frame(
@@ -99,17 +141,156 @@ def render_foveated(
         level_delta,
         background,
     )
+    return _frame_result(fmodel, prepared, maps, frame)
 
-    stats = FRRenderStats(
-        sort_intersections_per_tile=frame.sort_intersections_per_tile,
-        raster_intersections_per_tile=frame.raster_intersections_per_tile,
-        tile_levels=maps.tile_level,
-        blend_pixels=frame.blend_pixels,
-        num_projected=projected.num_visible,
-        projection_runs=1,
-        num_points=fmodel.num_points,
-    )
-    return FRRenderResult(image=np.clip(frame.image, 0.0, 1.0), stats=stats, maps=maps)
+
+def _is_single_gaze(gazes) -> bool:
+    """A bare ``(x, y)`` point rather than a sequence of per-frame gazes.
+
+    Any 2-element run of scalars counts — tuple, list or 1-D array — so a
+    gaze that :func:`render_foveated` accepts is never misread as two
+    frames' worth of coordinates.  A 1-D array of any other length is an
+    error rather than silently becoming a gaze point.
+    """
+    if isinstance(gazes, np.ndarray):
+        if gazes.ndim != 1:
+            return False
+        if gazes.shape[0] != 2:
+            raise ValueError(
+                f"a gaze point needs 2 coordinates, got {gazes.shape[0]}"
+            )
+        return True
+    if isinstance(gazes, (tuple, list)) and len(gazes) == 2:
+        return all(isinstance(v, (int, float, np.integer, np.floating)) for v in gazes)
+    return False
+
+
+def _normalize_frames(cameras, gazes) -> tuple[list[Camera], list]:
+    """Broadcast cameras/gazes into aligned per-frame lists.
+
+    A single camera fans out across a gaze trajectory (the batched-serve
+    shape); a single gaze (or ``None``) broadcasts across a camera list;
+    two sequences must agree in length.
+    """
+    cam_list = [cameras] if isinstance(cameras, Camera) else list(cameras)
+    if gazes is None or _is_single_gaze(gazes):
+        gaze = None if gazes is None else tuple(float(v) for v in gazes)
+        return cam_list, [gaze] * len(cam_list)
+    gaze_list = [
+        None if g is None else tuple(float(v) for v in g) for g in gazes
+    ]
+    if len(cam_list) == 1 and len(gaze_list) != 1:
+        cam_list = cam_list * len(gaze_list)
+    elif len(gaze_list) == 1 and len(cam_list) != 1:
+        gaze_list = gaze_list * len(cam_list)
+    elif len(cam_list) != len(gaze_list):
+        raise ValueError(
+            f"got {len(cam_list)} cameras but {len(gaze_list)} gazes; "
+            "lengths must match (or one side must be a single item)"
+        )
+    return cam_list, gaze_list
+
+
+def render_foveated_batch(
+    fmodel: FoveatedModel,
+    cameras: Camera | Sequence[Camera],
+    gazes=None,
+    config: RenderConfig | None = None,
+    batch_size: int | None = None,
+    cache: ViewCache | None = None,
+) -> list[FRRenderResult]:
+    """Render many foveated frames — gaze samples and/or poses — batched.
+
+    The public multi-frame foveated entry point: frame ``i`` renders
+    ``cameras[i]`` at ``gazes[i]``, with single-item broadcasting on either
+    side (one camera across a gaze trajectory is the canonical workload).
+    Each distinct camera's Projection/Tiling/Sorting prefix is prepared
+    once per chunk and shared by all of its gaze samples (``cache``
+    additionally shares it across calls); backends implementing
+    ``foveated_frame_batch`` then run whole chunks of frames through one
+    concatenated span scan, while other backends are looped per frame.
+    ``batch_size`` caps how many frames share one dispatch (``None``
+    batches everything).
+
+    Guarantees: a batch of one frame is **bit-identical** to
+    :func:`render_foveated`, and multi-frame batches match the per-frame
+    ``reference`` oracle within 1e-10 (``tests/test_foveated_batch.py``).
+    """
+    config = config or RenderConfig()
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    cam_list, gaze_list = _normalize_frames(cameras, gazes)
+    if not cam_list:
+        return []
+
+    background = np.asarray(config.background, dtype=np.float64)
+    level_opacity, level_delta = _level_tables(fmodel)
+    engine = get_backend(config.backend)
+    batched = supports_foveated_batch(engine)
+
+    results: list[FRRenderResult] = []
+    step = batch_size or len(cam_list)
+    # One PreparedView per distinct camera object: a gaze trajectory
+    # re-uses its pose's prefix instead of re-projecting per sample, even
+    # when ``batch_size`` splits the trajectory across chunks.  Prefixes
+    # are dropped once no later frame needs them, so ``batch_size`` still
+    # bounds the prepared working set for many-pose batches (cf.
+    # ``render_batch``).  ``cache`` extends the sharing across calls and
+    # de-duplicates content-equal cameras that are distinct objects; its
+    # lookups go through ``get_batch`` per chunk so the O(parameter-bytes)
+    # model fingerprint is computed once per chunk, not once per camera.
+    prepared: dict[int, PreparedView] = {}
+    uses: dict[int, int] = {}
+    for camera in cam_list:
+        uses[id(camera)] = uses.get(id(camera), 0) + 1
+    for i in range(0, len(cam_list), step):
+        chunk_cams = cam_list[i : i + step]
+        chunk_gazes = gaze_list[i : i + step]
+        new_cams: list[Camera] = []
+        seen: set[int] = set()
+        for camera in chunk_cams:
+            key = id(camera)
+            if key not in prepared and key not in seen:
+                seen.add(key)
+                new_cams.append(camera)
+        if new_cams:
+            new_views = (
+                cache.get_batch(fmodel.base, new_cams, config)
+                if cache is not None
+                else [prepare_view(fmodel.base, c, config) for c in new_cams]
+            )
+            prepared.update(
+                {id(camera): view for camera, view in zip(new_cams, new_views)}
+            )
+        views = [prepared[id(camera)] for camera in chunk_cams]
+        maps_list = [
+            compute_region_maps(camera, view.assignment.grid, fmodel.layout, gaze)
+            for camera, view, gaze in zip(chunk_cams, views, chunk_gazes)
+        ]
+        view_tuples = [(v.projected, v.assignment) for v in views]
+        if batched:
+            frames = engine.foveated_frame_batch(
+                view_tuples, maps_list, fmodel.quality_bounds, level_opacity,
+                level_delta, background,
+            )
+        else:
+            frames = [
+                engine.foveated_frame(
+                    projected, assignment, maps, fmodel.quality_bounds,
+                    level_opacity, level_delta, background,
+                )
+                for (projected, assignment), maps in zip(view_tuples, maps_list)
+            ]
+        results.extend(
+            _frame_result(fmodel, view, maps, frame)
+            for view, maps, frame in zip(views, maps_list, frames)
+        )
+        for camera in chunk_cams:
+            key = id(camera)
+            uses[key] -= 1
+            if uses[key] == 0:
+                prepared.pop(key, None)
+    return results
 
 
 def render_multi_model(
@@ -118,19 +299,38 @@ def render_multi_model(
     camera: Camera,
     gaze: tuple[float, float] | None = None,
     config: RenderConfig | None = None,
+    cache: ViewCache | None = None,
+    prepared_views: Sequence[PreparedView] | None = None,
 ) -> FRRenderResult:
     """MMFR: independent models per level, projection re-run for each.
 
     This is the Fov-NeRF-style baseline (Sec 6): same region layout, but the
     level models share no points or parameters, so every level pays its own
     Projection/Filtering and the storage is the sum of all models.
+
+    ``cache`` memoizes each level model's view prefix per (model, pose), so
+    repeated frames of one pose stop re-projecting identical per-level views
+    — the *measured* workload statistics still charge every level its own
+    projection run, which is exactly MMFR's cost story.  ``prepared_views``
+    hands the per-level prefixes in directly (one per level model,
+    outranking ``cache``); the caller is responsible for them matching
+    (models, camera, config).
     """
     config = config or RenderConfig()
     if len(level_models) != layout.num_levels:
         raise ValueError(f"need {layout.num_levels} level models")
     background = np.asarray(config.background, dtype=np.float64)
 
-    views = [prepare_view(m, camera, config) for m in level_models]
+    if prepared_views is not None:
+        if len(prepared_views) != len(level_models):
+            raise ValueError(
+                f"need {len(level_models)} prepared views, got {len(prepared_views)}"
+            )
+        views = list(prepared_views)
+    elif cache is not None:
+        views = [cache.get(m, camera, config) for m in level_models]
+    else:
+        views = [prepare_view(m, camera, config) for m in level_models]
     grid = views[0][1].grid
     maps = compute_region_maps(camera, grid, layout, gaze)
 

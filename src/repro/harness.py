@@ -22,7 +22,7 @@ from .foveation import (
     FRTrainConfig,
     RegionLayout,
     build_foveated_model,
-    render_foveated,
+    render_foveated_batch,
 )
 from .hvs.metrics import lpips_proxy, psnr, ssim
 from .perf import (
@@ -156,26 +156,23 @@ def measure_foveated(
     """Render a foveated model over the eval poses; quality is measured on
     the foveal (level-1) region as in the paper's Fig 13 protocol.
 
-    ``view_cache`` shares the base model's view-preparation prefix across
+    All eval poses render through one batched foveated pass
+    (:func:`repro.foveation.render_foveated_batch`); ``view_cache``
+    additionally shares the base model's view-preparation prefix across
     repeated measurements of the same pose (the foveated pipeline projects
-    only the L1 point set, once per frame).
+    only the L1 point set, once per pose).
     """
     gpu = gpu or DEFAULT_GPU
     from .foveation.regions import region_masks
 
     config = RenderConfig(backend=backend)
-    prepared_views = (
-        view_cache.get_batch(fmodel.base, setup.eval_cameras, config)
-        if view_cache is not None
-        else [None] * len(setup.eval_cameras)
+    results = render_foveated_batch(
+        fmodel, setup.eval_cameras, gazes=gaze, config=config, cache=view_cache
     )
     workloads, psnrs, ssims, lpipss = [], [], [], []
-    for camera, target, prepared in zip(
-        setup.eval_cameras, setup.eval_targets, prepared_views
+    for camera, target, result in zip(
+        setup.eval_cameras, setup.eval_targets, results
     ):
-        result = render_foveated(
-            fmodel, camera, gaze=gaze, config=config, prepared=prepared
-        )
         workloads.append(workload_from_fr(result.stats))
         fovea = region_masks(camera, fmodel.layout, gaze)[0]
         ref = np.where(fovea[:, :, None], target, 0.0)

@@ -67,13 +67,14 @@ class BackendInfo:
     """One registry entry: factory plus the capabilities dispatchers and
     tooling introspect without instantiating the backend.
 
-    ``has_forward_batch`` is tri-state: ``True``/``False`` assert the
-    batched entry point's presence/absence, ``None`` (the default for
-    backends registered without capability flags) means "probe the
-    instance" — so a pre-existing ``register_backend(name, factory)`` call
-    whose engine implements ``forward_batch`` keeps its batched dispatch.
-    ``device`` is ``"cpu"`` for host engines and ``"xp"`` for
-    namespace-retargeted ones whose device follows the resolved array API.
+    ``has_forward_batch`` / ``has_foveated_batch`` are tri-state:
+    ``True``/``False`` assert the batched entry point's presence/absence,
+    ``None`` (the default for backends registered without capability flags)
+    means "probe the instance" — so a pre-existing
+    ``register_backend(name, factory)`` call whose engine implements the
+    method keeps its batched dispatch.  ``device`` is ``"cpu"`` for host
+    engines and ``"xp"`` for namespace-retargeted ones whose device follows
+    the resolved array API.
     """
 
     name: str
@@ -81,6 +82,7 @@ class BackendInfo:
     description: str = ""
     device: str = "cpu"
     has_forward_batch: bool | None = None
+    has_foveated_batch: bool | None = None
     experimental: bool = False
 
 
@@ -100,6 +102,7 @@ def register_backend(
     description: str = "",
     device: str = "cpu",
     has_forward_batch: bool | None = None,
+    has_foveated_batch: bool | None = None,
     experimental: bool = False,
 ) -> None:
     """Register a custom backend under ``name`` (overwrites existing)."""
@@ -109,6 +112,7 @@ def register_backend(
         description=description,
         device=device,
         has_forward_batch=has_forward_batch,
+        has_foveated_batch=has_foveated_batch,
         experimental=experimental,
     )
     _instances.pop(name, None)
@@ -120,6 +124,7 @@ register_backend(
     description="whole-frame vectorized span engine (numpy kernels)",
     device="cpu",
     has_forward_batch=True,
+    has_foveated_batch=True,
 )
 register_backend(
     "packed-xp",
@@ -130,6 +135,7 @@ register_backend(
     ),
     device="xp",
     has_forward_batch=True,
+    has_foveated_batch=True,
 )
 register_backend(
     "reference",
@@ -137,6 +143,7 @@ register_backend(
     description="per-tile Python loop, the regression oracle (batch = per-view loop)",
     device="cpu",
     has_forward_batch=True,
+    has_foveated_batch=True,
 )
 
 
@@ -160,44 +167,72 @@ def backend_registry() -> tuple[BackendInfo, ...]:
     return tuple(_REGISTRY[name] for name in available_backends())
 
 
-def supports_forward_batch(engine: RasterBackend) -> bool:
-    """Whether ``engine`` implements the batched entry point.
+def _engine_info(engine: RasterBackend) -> BackendInfo | None:
+    """The registry entry backing an engine instance, if any.
 
-    A registered engine whose entry carries an explicit capability flag
-    answers from it (``True`` still requires the instance to actually
-    expose the method, so a mis-flagged backend cannot crash the
-    dispatcher); flagless registrations and unregistered instances are
-    probed for the method, preserving the dispatcher semantics of PR 2.
     Instances created through :func:`get_backend` are matched to their
     registration key by identity, so an engine registered under a name
     different from its ``.name`` attribute still consults its own entry.
     """
-    info = None
     for reg_name, instance in _instances.items():
         if instance is engine:
-            info = _REGISTRY.get(reg_name)
-            break
-    if info is None:
-        info = _REGISTRY.get(getattr(engine, "name", None))
-    if info is not None and info.has_forward_batch is not None:
-        return info.has_forward_batch and hasattr(engine, "forward_batch")
-    return getattr(engine, "forward_batch", None) is not None
+            return _REGISTRY.get(reg_name)
+    return _REGISTRY.get(getattr(engine, "name", None))
+
+
+def _supports_batch_method(engine: RasterBackend, flag: bool | None, method: str) -> bool:
+    """Capability-flag resolution shared by the batched dispatchers.
+
+    An explicit flag answers directly (``True`` still requires the instance
+    to actually expose the method, so a mis-flagged backend cannot crash a
+    dispatcher); a ``None`` flag — flagless registrations and unregistered
+    instances — probes the instance for the method, preserving the PR 2
+    dispatcher semantics for custom backends.
+    """
+    if flag is not None:
+        return flag and hasattr(engine, method)
+    return getattr(engine, method, None) is not None
+
+
+def supports_forward_batch(engine: RasterBackend) -> bool:
+    """Whether ``engine`` implements the batched standard-forward entry."""
+    info = _engine_info(engine)
+    return _supports_batch_method(
+        engine, None if info is None else info.has_forward_batch, "forward_batch"
+    )
+
+
+def supports_foveated_batch(engine: RasterBackend) -> bool:
+    """Whether ``engine`` implements the batched foveated entry point.
+
+    Consulted by :func:`repro.foveation.render_foveated_batch`: engines
+    without the method (or flagged ``has_foveated_batch=False``) are looped
+    over :meth:`RasterBackend.foveated_frame` per frame by the dispatcher.
+    """
+    info = _engine_info(engine)
+    return _supports_batch_method(
+        engine,
+        None if info is None else info.has_foveated_batch,
+        "foveated_frame_batch",
+    )
 
 
 def describe_backends() -> str:
     """Human-readable registry table (what ``--backend list`` prints)."""
     lines = [
-        f"{'backend':<12} {'device':<6} {'batch':<5} description",
+        f"{'backend':<12} {'device':<6} {'batch':<5} {'fov-b':<5} description",
     ]
     default = resolve_backend_name(None)
+
+    def flag(value: bool | None) -> str:
+        return "auto" if value is None else "yes" if value else "no"
+
     for info in backend_registry():
         marker = "*" if info.name == default else " "
-        batch = (
-            "auto" if info.has_forward_batch is None
-            else "yes" if info.has_forward_batch else "no"
-        )
         lines.append(
-            f"{info.name:<11}{marker} {info.device:<6} {batch:<5} {info.description}"
+            f"{info.name:<11}{marker} {info.device:<6} "
+            f"{flag(info.has_forward_batch):<5} {flag(info.has_foveated_batch):<5} "
+            f"{info.description}"
         )
     lines.append("")
     lines.append(f"(* = current default; select with --backend / ${ENV_VAR})")
@@ -296,5 +331,6 @@ __all__ = [
     "set_default_backend",
     "span_chunk_budget",
     "supports_forward_batch",
+    "supports_foveated_batch",
     "tile_lane_geometry",
 ]

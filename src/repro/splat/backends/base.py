@@ -1,12 +1,16 @@
 """The rasterization backend protocol.
 
-A backend implements the four pixel-producing operations of the render
-engine — standard forward, analytic backward, foveated frame, and
-multi-model (MMFR) frame — over a projected splat set and its depth-sorted
-tile assignment.  Everything around those operations (stage prefix, stats
-assembly, clipping, region maps) lives in the callers, so backends stay
-interchangeable: ``reference`` is the per-tile loop kept for regression,
-``packed`` the vectorized segment engine.
+A backend implements the pixel-producing operations of the render engine —
+standard forward (single and batched), analytic backward, foveated frame
+(single and batched), and multi-model (MMFR) frame — over a projected
+splat set and its depth-sorted tile assignment.  Everything around those
+operations (stage prefix, stats assembly, clipping, region maps) lives in
+the callers, so backends stay interchangeable: ``reference`` is the
+per-tile loop kept for regression, ``packed`` the vectorized segment
+engine.  The batched entry points are optional on custom backends — the
+dispatchers consult the registry's capability flags and fall back to
+per-frame loops (see ``supports_forward_batch`` /
+``supports_foveated_batch`` in the package root).
 """
 
 from __future__ import annotations
@@ -20,16 +24,25 @@ if TYPE_CHECKING:
     from ..projection import ProjectedGaussians
     from ..rasterizer import RasterGradients
     from ..tiling import TileAssignment
+    from .segments import RowSpans
 
 
 @dataclasses.dataclass
 class FoveatedFrame:
-    """Raw output of one foveated / multi-model frame (pre-clipping)."""
+    """Raw output of one foveated / multi-model frame (pre-clipping).
+
+    ``level_spans`` surfaces the per-level *filtered* row-span lists the
+    primary pass actually rasterized (level ``t`` → spans in level-``t``
+    tiles whose pair passes the quality bound) so the accelerator model can
+    be driven from the real foveated workload.  Span-based engines fill it;
+    backends without a span representation (``reference``) leave ``None``.
+    """
 
     image: np.ndarray  # (H, W, 3), not yet clipped to [0, 1]
     sort_intersections_per_tile: np.ndarray  # (T,) int64
     raster_intersections_per_tile: np.ndarray  # (T,) float64
     blend_pixels: int
+    level_spans: "dict[int, RowSpans] | None" = None
 
 
 @runtime_checkable
@@ -98,6 +111,30 @@ class RasterBackend(Protocol):
         ``maps`` is a :class:`repro.foveation.regions.RegionMaps`;
         ``bounds`` the per-point quality bounds; ``level_opacity`` /
         ``level_delta`` the per-level multi-versioned parameter tables.
+        """
+        ...
+
+    def foveated_frame_batch(
+        self,
+        views: list[tuple["ProjectedGaussians", "TileAssignment"]],
+        maps_list: list[Any],
+        bounds: np.ndarray,
+        level_opacity: dict[int, np.ndarray],
+        level_delta: dict[int, np.ndarray],
+        background: np.ndarray,
+    ) -> list["FoveatedFrame"]:
+        """Render several foveated frames of one model, one result per frame.
+
+        ``views`` holds each frame's shared view prefix (gaze samples of one
+        pose typically repeat the same prepared view object), ``maps_list``
+        the per-frame :class:`~repro.foveation.regions.RegionMaps`; the
+        hierarchy tables (``bounds`` / ``level_opacity`` / ``level_delta``)
+        are per-model and shared by every frame.  The ``packed`` engine
+        concatenates each frame's level-filtered span subsets — primary
+        composite plus the blend-band second-level pass — as extra batch
+        segments of a single segmented scan; ``reference`` falls back to a
+        per-frame loop.  Dispatchers treat this method as optional on custom
+        backends and loop over :meth:`foveated_frame` when it is missing.
         """
         ...
 

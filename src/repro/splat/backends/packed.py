@@ -39,6 +39,7 @@ segmented scans and reductions run along the contiguous axis.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import os
 import warnings
@@ -61,10 +62,10 @@ from .kernels import (
     batch_span_alphas,
     batch_span_quad,
     batch_weights_final,
-    clamp_alphas,
     composite_groups,
     dominated_counts,
     exp_neg_half,
+    foveated_level_alphas,
     get_array_namespace,
     per_pixel_permutation,
     span_alphas,
@@ -72,6 +73,7 @@ from .kernels import (
     weights_final,
 )
 from .segments import (
+    PackedSegments,
     RowSpans,
     build_row_spans,
     build_segments,
@@ -252,6 +254,230 @@ def _batch_pair_tables(
         np.concatenate(origin_x),
         np.concatenate(depths),
     )
+
+
+# ----------------------------------------------------------------------
+# Foveated span-stage decomposition
+#
+# The foveated frame is composed from the same span machinery as the
+# standard forward instead of a one-shot routine: a host-side *plan* (level
+# filtering as RowSpans subsets + blend-band tile selection), per-level
+# alpha/colour *segments* against the array namespace, one shared batch
+# scan, and a final per-frame blend.  ``foveated_frame_batch`` concatenates
+# many frames' segments into a single scan; ``foveated_frame`` is a batch
+# of one through the identical code path.
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _FoveatedPlan:
+    """Host-side stage decomposition of one foveated frame.
+
+    Built before any pixel math runs: the filtering-stage masks with their
+    workload statistics, the blend-band tile selection with its extra
+    second-level span subset, and the per-level filtered span lists that
+    feed the accelerator model.  ``seg``/``spans`` are ``None`` for frames
+    without intersections (they render as pure background).
+    """
+
+    maps: Any
+    seg: PackedSegments | None
+    spans: RowSpans | None
+    pair_pids: np.ndarray | None  # (K,) model point id per pair
+    pair_tl: np.ndarray | None  # (K,) primary level per pair
+    pair_second: np.ndarray | None  # (K,) second (blend) level per pair
+    mask_primary: np.ndarray | None  # (K,) bound >= primary level
+    mask_second: np.ndarray | None  # (K,) bound >= second level
+    sort_ints: np.ndarray  # (T,)
+    raster_ints: np.ndarray  # (T,)
+    mix_full: np.ndarray | None  # (H, W) pixels blending two levels
+    lo_t: np.ndarray | None  # (T,) inner level of each tile's blend pair
+    blend_pixels: int
+    sub_spans: RowSpans | None  # blend-band tile subset of ``spans``
+    keep_second: np.ndarray | None  # (R,) span-row mask behind ``sub_spans``
+    level_spans: dict[int, RowSpans]
+
+
+def _foveated_plan(
+    projected: ProjectedGaussians,
+    assignment: TileAssignment,
+    maps: Any,
+    bounds: np.ndarray,
+    n_levels: int,
+    view_memo: dict[int, tuple[PackedSegments, RowSpans]] | None = None,
+) -> _FoveatedPlan:
+    """Filtering + blend-band planning of one frame (no pixel math).
+
+    Level filtering is expressed as span structure: per-pair bound masks
+    over the shared depth-sorted segments, plus the per-level filtered
+    :class:`RowSpans` subsets surfaced for accelerator alignment.
+
+    ``view_memo`` shares the gaze-independent span structure across frames
+    of one batch: a trajectory's samples repeat the same prepared view
+    object, so its segments and row spans are built once per batch call
+    rather than once per gaze (keyed by the assignment's identity).
+    """
+    grid = assignment.grid
+    num_tiles = grid.num_tiles
+    if assignment.num_intersections == 0:
+        return _FoveatedPlan(
+            maps=maps, seg=None, spans=None, pair_pids=None, pair_tl=None,
+            pair_second=None, mask_primary=None, mask_second=None,
+            sort_ints=np.zeros(num_tiles, dtype=np.int64),
+            raster_ints=np.zeros(num_tiles, dtype=np.float64),
+            mix_full=None, lo_t=None, blend_pixels=0, sub_spans=None,
+            keep_second=None, level_spans={},
+        )
+
+    cached = view_memo.get(id(assignment)) if view_memo is not None else None
+    if cached is None:
+        seg = build_segments(assignment)
+        spans = build_row_spans(projected, seg)
+        if view_memo is not None:
+            view_memo[id(assignment)] = (seg, spans)
+    else:
+        seg, spans = cached
+    tl = maps.tile_level
+    second = maps.tile_second_level
+    pair_pids = projected.point_ids[seg.pair_splats]
+    pair_bounds = bounds[pair_pids]
+    pair_tl = tl[seg.pair_tiles]
+
+    # Filtering stage: points with quality bound below a level never reach
+    # sorting/rasterization for that level.
+    sort_level = np.where(second > 0, np.minimum(tl, second), tl)
+    sort_mask = pair_bounds >= sort_level[seg.pair_tiles]
+    sort_ints = np.bincount(seg.pair_tiles[sort_mask], minlength=num_tiles).astype(
+        np.int64
+    )
+    mask_primary = pair_bounds >= pair_tl
+    raster_ints = np.bincount(
+        seg.pair_tiles[mask_primary], minlength=num_tiles
+    ).astype(np.float64)
+
+    # Blending stage selection: band pixels of tiles with a second level are
+    # rendered at both levels and interpolated.
+    nonempty = np.diff(assignment.tile_offsets) > 0
+    lo_t = np.where(second > 0, np.minimum(tl, second), 0)
+    tile_map = _tile_of_pixel(grid)
+    mix_full = (
+        (maps.band_level == lo_t[tile_map])
+        & maps.needs_blend
+        & ((second > 0) & nonempty)[tile_map]
+    )
+    blend_pixels = int(mix_full.sum())
+    pair_second = second[seg.pair_tiles]
+    mask_second = pair_bounds >= pair_second
+    sub_spans = None
+    keep_second = None
+    if blend_pixels:
+        mix_count = np.bincount(tile_map[mix_full], minlength=num_tiles)
+        sel_tiles = mix_count > 0  # implies second > 0 and non-empty
+        sub_spans, keep_second = spans.subset(sel_tiles)
+        # Second-level pass touches only the band pixels.
+        msec = np.bincount(seg.pair_tiles[mask_second], minlength=num_tiles)
+        raster_ints[sel_tiles] += (
+            msec[sel_tiles] * mix_count[sel_tiles] / grid.tile_size**2
+        )
+
+    # Per-level filtered span subsets: level t owns the spans of its
+    # non-empty tiles whose pair passes the bound — exactly the fragments
+    # the primary composite rasterizes there.  This is the real foveated
+    # workload the accelerator model consumes (accel.spans_to_tile_counts).
+    level_spans: dict[int, RowSpans] = {}
+    for t in range(1, n_levels + 1):
+        tiles_t = (tl == t) & nonempty
+        if not tiles_t.any():
+            continue
+        sub, _ = spans.subset(tiles_t)
+        if sub.num_spans:
+            sub = sub.subset_spans(mask_primary[sub.span_pair])
+        level_spans[t] = sub
+
+    return _FoveatedPlan(
+        maps=maps, seg=seg, spans=spans, pair_pids=pair_pids, pair_tl=pair_tl,
+        pair_second=pair_second, mask_primary=mask_primary,
+        mask_second=mask_second, sort_ints=sort_ints, raster_ints=raster_ints,
+        mix_full=mix_full, lo_t=lo_t, blend_pixels=blend_pixels,
+        sub_spans=sub_spans, keep_second=keep_second, level_spans=level_spans,
+    )
+
+
+@dataclasses.dataclass
+class _FoveatedSegment:
+    """One composite pass of one frame, riding the shared batch scan."""
+
+    frame: int  # chunk-local frame index
+    second: bool  # blend-band second-level pass (scatters into ``sec``)
+    spans: RowSpans
+    alphas: np.ndarray  # (ts, R)
+    colors: np.ndarray  # (R, 3)
+
+
+def _foveated_segments(
+    nsx: ArrayNamespace,
+    projected: ProjectedGaussians,
+    plan: _FoveatedPlan,
+    op_mat: np.ndarray,
+    de_mat: np.ndarray,
+    frame: int,
+    exp_memo: dict[int, np.ndarray] | None = None,
+) -> list[_FoveatedSegment]:
+    """One frame's composite passes as batch segments.
+
+    The primary pass covers the full span list (each tile at its own
+    level); when blend-band pixels exist, the second-level pass over the
+    band tiles' span subset becomes an extra segment of the same scan.
+    The shared ``exp(-q/2)`` table is evaluated once per *view* (keyed by
+    the span list's identity in ``exp_memo``, so a trajectory's gaze
+    samples reuse it) and sliced per pass, preserving the subsetting
+    compute saving.
+    """
+    if plan.spans is None or plan.spans.num_spans == 0:
+        return []
+    seg = plan.seg
+    base_exp = exp_memo.get(id(plan.spans)) if exp_memo is not None else None
+    if base_exp is None:
+        base_exp = exp_neg_half(nsx, span_quad(nsx, projected, plan.spans))
+        if exp_memo is not None:
+            exp_memo[id(plan.spans)] = base_exp
+
+    def level_pass(pair_levels, pair_mask, sub_spans, keep):
+        sp = sub_spans.span_pair
+        pids = plan.pair_pids[sp]
+        levels = pair_levels[sp]  # subset first: never indexes level 0
+        alphas = foveated_level_alphas(
+            nsx, base_exp[:, keep], op_mat[levels - 1, pids], pair_mask[sp]
+        )
+        colors = projected.colors[seg.pair_splats[sp]] + de_mat[levels - 1, pids]
+        return alphas, colors
+
+    alphas, colors = level_pass(
+        plan.pair_tl, plan.mask_primary, plan.spans,
+        np.ones(plan.spans.num_spans, dtype=bool),
+    )
+    segments = [_FoveatedSegment(frame, False, plan.spans, alphas, colors)]
+    if plan.sub_spans is not None and plan.sub_spans.num_spans:
+        alphas, colors = level_pass(
+            plan.pair_second, plan.mask_second, plan.sub_spans, plan.keep_second
+        )
+        segments.append(
+            _FoveatedSegment(frame, True, plan.sub_spans, alphas, colors)
+        )
+    return segments
+
+
+def _foveated_blend(
+    plan: _FoveatedPlan, grid: TileGrid, prim: np.ndarray, sec: np.ndarray
+) -> np.ndarray:
+    """Blending stage: interpolate band pixels between the two level images."""
+    maps = plan.maps
+    tile_map = _tile_of_pixel(grid)
+    lo_is_primary = (maps.tile_level == plan.lo_t)[tile_map][:, :, None]
+    lo_img = np.where(lo_is_primary, prim, sec)
+    hi_img = np.where(lo_is_primary, sec, prim)
+    w = maps.weight_next[:, :, None]
+    return np.where(plan.mix_full[:, :, None], (1.0 - w) * lo_img + w * hi_img, prim)
 
 
 class PackedBackend:
@@ -476,107 +702,158 @@ class PackedBackend:
         level_delta: dict[int, np.ndarray],
         background: np.ndarray,
     ) -> FoveatedFrame:
-        grid = assignment.grid
-        nsx = self.nsx
-        num_tiles = grid.num_tiles
-        if assignment.num_intersections == 0:
-            return FoveatedFrame(
-                image=_background_frame(grid, background),
-                sort_intersections_per_tile=np.zeros(num_tiles, dtype=np.int64),
-                raster_intersections_per_tile=np.zeros(num_tiles, dtype=np.float64),
-                blend_pixels=0,
-            )
+        # A batch of one frame through the staged batch path (cf. ``forward``
+        # routing through the pooled batch-of-one kernels): the single-frame
+        # and batched entry points run the exact same code, so a batch of one
+        # is bit-identical to ``render_foveated`` by construction.
+        return self.foveated_frame_batch(
+            [(projected, assignment)], [maps], bounds, level_opacity,
+            level_delta, background,
+        )[0]
 
-        seg = build_segments(assignment)
+    def foveated_frame_batch(
+        self,
+        views: list[tuple[ProjectedGaussians, TileAssignment]],
+        maps_list: list[Any],
+        bounds: np.ndarray,
+        level_opacity: dict[int, np.ndarray],
+        level_delta: dict[int, np.ndarray],
+        background: np.ndarray,
+    ) -> list[FoveatedFrame]:
+        """Render several foveated frames in one concatenated batch scan.
+
+        Each frame decomposes into span-kernel stages (see
+        :func:`_foveated_plan` / :func:`_foveated_segments`): level filtering
+        becomes :class:`RowSpans` subsets with per-pair bound masks, and the
+        blend-band second-level pass becomes an *extra batch segment* riding
+        the same scan as the primary composite.  All frames' passes then
+        share one alpha-eval / transmittance / compositing pipeline — only
+        the per-frame span construction, the scatter into each frame and the
+        blend interpolation remain per frame.  On CPU namespaces, frames are
+        chunked to :func:`span_chunk_budget` spans so the shared scan
+        matrices stay cache-resident, exactly like :meth:`forward_batch`.
+        """
+        if not views:
+            return []
+        if len(maps_list) != len(views):
+            raise ValueError(
+                f"need one region map per view, got {len(maps_list)} maps "
+                f"for {len(views)} views"
+            )
+        sizes = {a.grid.tile_size for _, a in views}
+        if len(sizes) > 1:
+            raise ValueError(f"views must share one tile size, got {sorted(sizes)}")
         n_levels = len(level_opacity)
         op_mat = np.stack([level_opacity[t] for t in range(1, n_levels + 1)])  # (L, N)
         de_mat = np.stack([level_delta[t] for t in range(1, n_levels + 1)])  # (L, N, 3)
+        budget = span_chunk_budget() if self.nsx.device == "cpu" else None
 
-        tl = maps.tile_level
-        second = maps.tile_second_level
-        pair_pids = projected.point_ids[seg.pair_splats]
-        pair_bounds = bounds[pair_pids]
-        pair_tl = tl[seg.pair_tiles]
+        results: list[FoveatedFrame] = []
+        chunk: list[tuple[tuple[ProjectedGaussians, TileAssignment], _FoveatedPlan]] = []
+        total = 0
 
-        # Filtering stage: points with quality bound below a level never
-        # reach sorting/rasterization for that level.
-        sort_level = np.where(second > 0, np.minimum(tl, second), tl)
-        sort_mask = pair_bounds >= sort_level[seg.pair_tiles]
-        sort_ints = np.bincount(seg.pair_tiles[sort_mask], minlength=num_tiles).astype(
-            np.int64
-        )
-        mask_primary = pair_bounds >= pair_tl
-        raster_ints = np.bincount(
-            seg.pair_tiles[mask_primary], minlength=num_tiles
-        ).astype(np.float64)
+        # Gaze samples of one pose repeat the same prepared view: their
+        # segments/spans and exp table are built once per call, surviving
+        # chunk flushes (a big foveated frame easily fills a whole chunk by
+        # itself, so per-chunk sharing alone would never hit).  Entries are
+        # evicted once the last frame referencing a view has flushed, so a
+        # multi-pose batch keeps the chunk-residency bound of
+        # ``forward_batch`` instead of accumulating every pose's span
+        # structure and exp table for the whole call.
+        view_memo: dict[int, tuple[PackedSegments, RowSpans]] = {}
+        exp_memo: dict[int, np.ndarray] = {}
+        remaining: dict[int, int] = {}
+        for _, assignment in views:
+            key = id(assignment)
+            remaining[key] = remaining.get(key, 0) + 1
 
-        spans = build_row_spans(projected, seg)
-        if spans.num_spans:
-            base_exp = exp_neg_half(nsx, span_quad(nsx, projected, spans))
-        else:
-            base_exp = np.empty((grid.tile_size, 0))
-
-        def level_image(pair_levels, pair_mask, sub_spans, keep):
-            """Composite one quality level over (a tile subset of) the frame."""
-            image = _background_frame(grid, background)
-            if sub_spans.num_spans == 0:
-                return image
-            sp = sub_spans.span_pair
-            pids = pair_pids[sp]
-            levels = pair_levels[sp]  # subset first: never indexes level 0
-            alphas = clamp_alphas(
-                nsx, op_mat[levels - 1, pids][None, :] * base_exp[:, keep]
+        def flush():
+            nonlocal chunk, total
+            if chunk:
+                results.extend(
+                    self._foveated_chunk(
+                        chunk, op_mat, de_mat, background, exp_memo
+                    )
+                )
+                for (_, assignment), _plan in chunk:
+                    key = id(assignment)
+                    remaining[key] -= 1
+                    if remaining[key] == 0:
+                        cached = view_memo.pop(key, None)
+                        if cached is not None:
+                            exp_memo.pop(id(cached[1]), None)
+            chunk, total = [], 0
+        for view, maps in zip(views, maps_list):
+            plan = _foveated_plan(
+                view[0], view[1], maps, bounds, n_levels, view_memo=view_memo
             )
-            alphas *= pair_mask[sp][None, :]
-            colors = projected.colors[seg.pair_splats[sp]] + de_mat[levels - 1, pids]
-            _, weights, final = weights_final(nsx, alphas, sub_spans)
-            _scatter_composite(
-                nsx, image, weights, final, colors, sub_spans, background
-            )
-            return image
+            n_spans = plan.spans.num_spans if plan.spans is not None else 0
+            if plan.sub_spans is not None:
+                n_spans += plan.sub_spans.num_spans
+            if chunk and budget is not None and total + n_spans > budget:
+                flush()
+            chunk.append((view, plan))
+            total += n_spans
+        flush()
+        return results
 
-        prim = level_image(
-            pair_tl, mask_primary, spans, np.ones(spans.num_spans, dtype=bool)
-        )
-
-        # Blending stage: band pixels of tiles with a second level are
-        # rendered at both levels and interpolated.
-        nonempty = np.diff(assignment.tile_offsets) > 0
-        lo_t = np.where(second > 0, np.minimum(tl, second), 0)
-        tile_map = _tile_of_pixel(grid)
-        mix_full = (
-            (maps.band_level == lo_t[tile_map])
-            & maps.needs_blend
-            & ((second > 0) & nonempty)[tile_map]
-        )
-        blend_pixels = int(mix_full.sum())
-        out = prim
-        if blend_pixels:
-            mix_count = np.bincount(tile_map[mix_full], minlength=num_tiles)
-            sel_tiles = mix_count > 0  # implies second > 0 and non-empty
-            sub_spans, keep = spans.subset(sel_tiles)
-            pair_second = second[seg.pair_tiles]
-            mask_second = pair_bounds >= pair_second
-            sec = level_image(pair_second, mask_second, sub_spans, keep)
-
-            # Second-level pass touches only the band pixels.
-            msec = np.bincount(seg.pair_tiles[mask_second], minlength=num_tiles)
-            raster_ints[sel_tiles] += (
-                msec[sel_tiles] * mix_count[sel_tiles] / grid.tile_size**2
+    def _foveated_chunk(
+        self,
+        chunk: list[tuple[tuple[ProjectedGaussians, TileAssignment], "_FoveatedPlan"]],
+        op_mat: np.ndarray,
+        de_mat: np.ndarray,
+        background: np.ndarray,
+        exp_memo: dict[int, np.ndarray] | None = None,
+    ) -> list[FoveatedFrame]:
+        """One concatenated scan over a chunk of frames' composite passes."""
+        nsx = self.nsx
+        prim: list[np.ndarray] = []
+        sec: dict[int, np.ndarray] = {}
+        segments: list[_FoveatedSegment] = []
+        for f, ((projected, assignment), plan) in enumerate(chunk):
+            prim.append(_background_frame(assignment.grid, background))
+            if plan.blend_pixels:
+                sec[f] = _background_frame(assignment.grid, background)
+            segments.extend(
+                _foveated_segments(
+                    nsx, projected, plan, op_mat, de_mat, f, exp_memo=exp_memo
+                )
             )
 
-            lo_is_primary = (tl == lo_t)[tile_map][:, :, None]
-            lo_img = np.where(lo_is_primary, prim, sec)
-            hi_img = np.where(lo_is_primary, sec, prim)
-            w = maps.weight_next[:, :, None]
-            out = np.where(mix_full[:, :, None], (1.0 - w) * lo_img + w * hi_img, prim)
+        if segments:
+            ts = chunk[0][0][1].grid.tile_size
+            batch = concat_spans([s.spans for s in segments])
+            if len(segments) > 1:
+                alphas = np.concatenate([s.alphas for s in segments], axis=1)
+                colors = np.concatenate([s.colors for s in segments], axis=0)
+            else:
+                alphas, colors = segments[0].alphas, segments[0].colors
+            _, weights, final = weights_final(nsx, alphas, batch)
+            pixels = composite_groups(
+                nsx, weights, final, colors, batch.groups, ts, background
+            )
+            for v, s in enumerate(segments):
+                if s.spans.num_groups == 0:
+                    continue
+                idx, ok = _group_pixel_index(s.spans)
+                target = sec[s.frame] if s.second else prim[s.frame]
+                target.reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
 
-        return FoveatedFrame(
-            image=out,
-            sort_intersections_per_tile=sort_ints,
-            raster_intersections_per_tile=raster_ints,
-            blend_pixels=blend_pixels,
-        )
+        out = []
+        for f, ((projected, assignment), plan) in enumerate(chunk):
+            image = prim[f]
+            if plan.blend_pixels:
+                image = _foveated_blend(plan, assignment.grid, prim[f], sec[f])
+            out.append(
+                FoveatedFrame(
+                    image=image,
+                    sort_intersections_per_tile=plan.sort_ints,
+                    raster_intersections_per_tile=plan.raster_ints,
+                    blend_pixels=plan.blend_pixels,
+                    level_spans=plan.level_spans,
+                )
+            )
+        return out
 
     def multi_model_frame(
         self,

@@ -257,6 +257,24 @@ class ReferenceBackend:
             blend_pixels=blend_pixels,
         )
 
+    def foveated_frame_batch(
+        self,
+        views: list[tuple[ProjectedGaussians, TileAssignment]],
+        maps_list: list[Any],
+        bounds: np.ndarray,
+        level_opacity: dict[int, np.ndarray],
+        level_delta: dict[int, np.ndarray],
+        background: np.ndarray,
+    ) -> list[FoveatedFrame]:
+        """Loop-over-``foveated_frame`` fallback (the oracle shares no work)."""
+        return [
+            self.foveated_frame(
+                projected, assignment, maps, bounds, level_opacity, level_delta,
+                background,
+            )
+            for (projected, assignment), maps in zip(views, maps_list)
+        ]
+
     def multi_model_frame(
         self,
         views: list[tuple[ProjectedGaussians, TileAssignment]],

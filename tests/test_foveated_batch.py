@@ -1,0 +1,369 @@
+"""Foveated batching: ``render_foveated_batch`` / ``foveated_frame_batch``.
+
+The batched foveated pipeline must be indistinguishable from the per-frame
+path: a batch of one frame is **bit-identical** to :func:`render_foveated`
+(both route through the same staged span code), and multi-gaze /
+multi-camera batches match the per-frame ``reference`` oracle within 1e-10
+— including mixed gazes, off-screen gazes, zero-splat quality levels and
+frames without any intersections.  The registry's ``has_foveated_batch``
+capability flag and the dispatcher's per-frame fallback for backends
+without the batched entry point are pinned here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.foveation import (
+    render_foveated,
+    render_foveated_batch,
+    uniform_foveated_model,
+)
+from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+from repro.scenes import gaze_trajectory
+from repro.splat import Camera, RenderConfig, ViewCache
+from repro.splat.backends import (
+    ReferenceBackend,
+    backend_info,
+    describe_backends,
+    register_backend,
+    supports_foveated_batch,
+)
+
+TOL = 1e-10
+ALL_BACKENDS = ("packed", "packed-xp", "reference")
+
+
+@pytest.fixture(scope="module")
+def fmodel(small_scene):
+    return uniform_foveated_model(
+        small_scene, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS
+    )
+
+
+@pytest.fixture(scope="module")
+def fmodel_empty_l4(small_scene):
+    """A hierarchy whose coarsest level holds zero points."""
+    return uniform_foveated_model(
+        small_scene, EVAL_REGION_LAYOUT, (1.0, 0.45, 0.22, 0.0)
+    )
+
+
+@pytest.fixture()
+def away_camera() -> Camera:
+    """A pose looking away from the scene: zero projected splats."""
+    return Camera.from_fov(
+        width=96,
+        height=64,
+        fov_x_deg=60.0,
+        position=np.array([0.0, 0.0, -5.0]),
+        look_at=np.array([0.0, 0.0, -10.0]),
+    )
+
+
+def assert_frames_equal(ref, got, atol=None):
+    if atol is None:
+        assert np.array_equal(ref.image, got.image)
+        assert np.array_equal(
+            ref.stats.raster_intersections_per_tile,
+            got.stats.raster_intersections_per_tile,
+        )
+    else:
+        assert np.abs(ref.image - got.image).max() < atol
+        assert np.allclose(
+            ref.stats.raster_intersections_per_tile,
+            got.stats.raster_intersections_per_tile,
+            atol=atol,
+        )
+    assert np.array_equal(
+        ref.stats.sort_intersections_per_tile,
+        got.stats.sort_intersections_per_tile,
+    )
+    assert ref.stats.blend_pixels == got.stats.blend_pixels
+
+
+class TestBatchOfOne:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("gaze", [None, (0.0, 0.0), (-50.0, 500.0)])
+    def test_bitwise_identical_to_render_foveated(
+        self, fmodel, train_cameras, backend, gaze
+    ):
+        config = RenderConfig(backend=backend)
+        single = render_foveated(fmodel, train_cameras[0], gaze=gaze, config=config)
+        batch = render_foveated_batch(
+            fmodel, train_cameras[0], gazes=[gaze], config=config
+        )
+        assert len(batch) == 1
+        assert_frames_equal(single, batch[0])
+
+    @pytest.mark.parametrize(
+        "gaze", [(10.0, 12.0), [10.0, 12.0], np.array([10.0, 12.0])]
+    )
+    def test_single_gaze_forms_broadcast(self, fmodel, train_cameras, gaze):
+        # Every gaze form render_foveated accepts is one point here too —
+        # a 2-float list must not be misread as two frames' coordinates.
+        single = render_foveated(fmodel, train_cameras[0], gaze=(10.0, 12.0))
+        batch = render_foveated_batch(fmodel, train_cameras[0], gazes=gaze)
+        assert len(batch) == 1
+        assert_frames_equal(single, batch[0])
+
+    def test_wrong_length_gaze_array_rejected(self, fmodel, train_cameras):
+        with pytest.raises(ValueError, match="coordinates"):
+            render_foveated_batch(
+                fmodel, train_cameras[0], gazes=np.array([1.0, 2.0, 3.0])
+            )
+
+
+class TestMultiFrameEquivalence:
+    # Mixed gazes: centred, explicit corner, far off-screen, trajectory-like.
+    GAZES = [None, (0.0, 0.0), (-50.0, 500.0), (48.0, 32.0)]
+
+    @pytest.mark.parametrize("backend", ("packed", "packed-xp"))
+    def test_multi_gaze_matches_per_frame_reference(
+        self, fmodel, train_cameras, backend
+    ):
+        batch = render_foveated_batch(
+            fmodel, train_cameras[0], gazes=self.GAZES,
+            config=RenderConfig(backend=backend),
+        )
+        assert len(batch) == len(self.GAZES)
+        blend_seen = 0
+        for gaze, got in zip(self.GAZES, batch):
+            ref = render_foveated(
+                fmodel, train_cameras[0], gaze=gaze,
+                config=RenderConfig(backend="reference"),
+            )
+            assert_frames_equal(ref, got, atol=TOL)
+            blend_seen += got.stats.blend_pixels
+        # The scenario must actually exercise the two-level blending path.
+        assert blend_seen > 0
+
+    def test_multi_camera_broadcast_gaze(self, fmodel, train_cameras, eval_cameras):
+        cameras = list(train_cameras[:2]) + list(eval_cameras[:1])
+        batch = render_foveated_batch(fmodel, cameras, gazes=(20.0, 20.0))
+        for camera, got in zip(cameras, batch):
+            ref = render_foveated(
+                fmodel, camera, gaze=(20.0, 20.0),
+                config=RenderConfig(backend="reference"),
+            )
+            assert_frames_equal(ref, got, atol=TOL)
+
+    def test_mixed_cameras_and_gazes(self, fmodel, train_cameras):
+        cameras = [train_cameras[0], train_cameras[1], train_cameras[0]]
+        gazes = [None, (5.0, 40.0), (90.0, 10.0)]
+        batch = render_foveated_batch(fmodel, cameras, gazes=gazes)
+        for camera, gaze, got in zip(cameras, gazes, batch):
+            ref = render_foveated(
+                fmodel, camera, gaze=gaze, config=RenderConfig(backend="reference")
+            )
+            assert_frames_equal(ref, got, atol=TOL)
+
+    def test_zero_splat_level(self, fmodel_empty_l4, train_cameras):
+        # The far periphery renders an empty point subset; batched and
+        # per-frame reference must agree there too.
+        gazes = [None, (0.0, 0.0)]
+        batch = render_foveated_batch(fmodel_empty_l4, train_cameras[0], gazes=gazes)
+        for gaze, got in zip(gazes, batch):
+            ref = render_foveated(
+                fmodel_empty_l4, train_cameras[0], gaze=gaze,
+                config=RenderConfig(backend="reference"),
+            )
+            assert_frames_equal(ref, got, atol=TOL)
+
+    def test_empty_frame_in_batch(self, fmodel, train_cameras, away_camera):
+        # A pose with zero projected splats rides the same batch as a
+        # populated one: pure background, zero workload.
+        cameras = [train_cameras[0], away_camera]
+        batch = render_foveated_batch(fmodel, cameras)
+        empty = batch[1]
+        assert np.allclose(empty.image, 0.0)
+        assert empty.stats.total_sort_intersections == 0
+        assert empty.stats.blend_pixels == 0
+        ref = render_foveated(
+            fmodel, train_cameras[0], config=RenderConfig(backend="reference")
+        )
+        assert_frames_equal(ref, batch[0], atol=TOL)
+
+    def test_batch_size_chunking_is_bitwise(self, fmodel, train_cameras):
+        gazes = [
+            tuple(g) for g in gaze_trajectory(96, 64, 5, seed=3)
+        ]
+        whole = render_foveated_batch(fmodel, train_cameras[0], gazes=gazes)
+        chunked = render_foveated_batch(
+            fmodel, train_cameras[0], gazes=gazes, batch_size=2
+        )
+        for a, b in zip(whole, chunked):
+            assert_frames_equal(a, b)
+
+    def test_trajectory_against_per_frame_packed(self, fmodel, train_cameras):
+        # A realistic scanpath: every batched frame is bit-identical to its
+        # own single-frame render (the per-frame scan segments are exact).
+        gazes = [tuple(g) for g in gaze_trajectory(96, 64, 6, seed=11)]
+        batch = render_foveated_batch(fmodel, train_cameras[0], gazes=gazes)
+        for gaze, got in zip(gazes, batch):
+            single = render_foveated(fmodel, train_cameras[0], gaze=gaze)
+            assert_frames_equal(single, got)
+
+
+class TestPreparationSharing:
+    def test_cache_prepares_each_pose_once(self, fmodel, train_cameras):
+        cache = ViewCache()
+        gazes = [tuple(g) for g in gaze_trajectory(96, 64, 4, seed=5)]
+        render_foveated_batch(fmodel, train_cameras[0], gazes=gazes, cache=cache)
+        assert cache.misses == 1  # one pose, many gazes: one preparation
+        assert cache.hits == 0
+        render_foveated_batch(fmodel, train_cameras[0], gazes=gazes, cache=cache)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_shared_prefix_without_cache(self, fmodel, train_cameras, monkeypatch):
+        import repro.foveation.fr_renderer as fr_renderer
+
+        calls = []
+        real = fr_renderer.prepare_view
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fr_renderer, "prepare_view", counting)
+        gazes = [tuple(g) for g in gaze_trajectory(96, 64, 5, seed=6)]
+        render_foveated_batch(fmodel, train_cameras[0], gazes=gazes)
+        # One projection/tiling/sorting pass serves the whole trajectory.
+        assert len(calls) == 1
+        # ... even when batch_size splits the trajectory across chunks.
+        calls.clear()
+        render_foveated_batch(
+            fmodel, train_cameras[0], gazes=gazes, batch_size=2
+        )
+        assert len(calls) == 1
+
+    def test_cache_hashes_model_once_per_chunk(
+        self, fmodel, train_cameras, monkeypatch
+    ):
+        import repro.splat.renderer as renderer
+
+        hashes = []
+        real = renderer._model_key
+
+        def counting(model):
+            hashes.append(1)
+            return real(model)
+
+        monkeypatch.setattr(renderer, "_model_key", counting)
+        cache = ViewCache()
+        render_foveated_batch(
+            fmodel, train_cameras[:2], gazes=(10.0, 10.0), cache=cache
+        )
+        # Lookups batch through get_batch: one O(parameter-bytes) model
+        # fingerprint for the whole (single-chunk) call, not one per pose.
+        assert len(hashes) == 1
+        assert cache.misses == 2
+
+    def test_mismatched_lengths_rejected(self, fmodel, train_cameras):
+        with pytest.raises(ValueError, match="lengths must match"):
+            render_foveated_batch(
+                fmodel, train_cameras[:3], gazes=[None, (0.0, 0.0)]
+            )
+
+    def test_bad_batch_size_rejected(self, fmodel, train_cameras):
+        with pytest.raises(ValueError, match="batch_size"):
+            render_foveated_batch(fmodel, train_cameras[0], batch_size=0)
+
+    def test_empty_input(self, fmodel):
+        assert render_foveated_batch(fmodel, []) == []
+
+
+class _ForwardingBackend:
+    """A custom engine exposing only the per-frame foveated entry point."""
+
+    name = "fovtest-loop"
+
+    def __init__(self):
+        self._ref = ReferenceBackend()
+        self.foveated_calls = 0
+
+    def forward(self, *args, **kwargs):
+        return self._ref.forward(*args, **kwargs)
+
+    def backward(self, *args, **kwargs):
+        return self._ref.backward(*args, **kwargs)
+
+    def foveated_frame(self, *args, **kwargs):
+        self.foveated_calls += 1
+        return self._ref.foveated_frame(*args, **kwargs)
+
+    def multi_model_frame(self, *args, **kwargs):
+        return self._ref.multi_model_frame(*args, **kwargs)
+
+
+class TestRegistryAndFallback:
+    def test_builtin_capability_flags(self):
+        for name in ALL_BACKENDS:
+            assert backend_info(name).has_foveated_batch is True
+
+    def test_describe_lists_foveated_batch_column(self):
+        assert "fov-b" in describe_backends()
+
+    def test_flagless_backend_without_method_probes_false(self):
+        engine = _ForwardingBackend()
+        assert not supports_foveated_batch(engine)
+
+    def test_true_flag_requires_the_method(self):
+        # A mis-flagged registration cannot crash the dispatcher.
+        register_backend(
+            "fovtest-misflagged", _ForwardingBackend, has_foveated_batch=True
+        )
+        from repro.splat.backends import get_backend
+
+        assert not supports_foveated_batch(get_backend("fovtest-misflagged"))
+
+    def test_dispatcher_loops_backends_without_batch(self, fmodel, train_cameras):
+        from repro.splat.backends import get_backend
+
+        register_backend("fovtest-loop", _ForwardingBackend)
+        engine = get_backend("fovtest-loop")
+        gazes = [None, (0.0, 0.0), (30.0, 20.0)]
+        batch = render_foveated_batch(
+            fmodel, train_cameras[0], gazes=gazes,
+            config=RenderConfig(backend="fovtest-loop"),
+        )
+        assert engine.foveated_calls == len(gazes)
+        for gaze, got in zip(gazes, batch):
+            ref = render_foveated(
+                fmodel, train_cameras[0], gaze=gaze,
+                config=RenderConfig(backend="reference"),
+            )
+            assert_frames_equal(ref, got)
+
+
+class TestLevelSpans:
+    def test_packed_surfaces_filtered_levels(self, fmodel, train_cameras):
+        result = render_foveated(
+            fmodel, train_cameras[0], config=RenderConfig(backend="packed")
+        )
+        assert result.level_spans
+        tl = result.maps.tile_level
+        for t, spans in result.level_spans.items():
+            assert 1 <= t <= fmodel.num_levels
+            if spans.num_spans:
+                # Every surfaced span sits in a tile of its own level, and
+                # every surviving pair passed the level's quality bound.
+                assert np.all(tl[np.unique(spans.span_tile)] == t)
+
+    def test_level_filtering_prunes_spans(self, fmodel, train_cameras):
+        # The coarsest level keeps only bound >= L points: its filtered
+        # span list must be no larger than the unfiltered tile subset.
+        config = RenderConfig(backend="packed")
+        result = render_foveated(fmodel, train_cameras[0], config=config)
+        batch = render_foveated_batch(fmodel, train_cameras[0], config=config)
+        got = {t: s.num_spans for t, s in batch[0].level_spans.items()}
+        want = {t: s.num_spans for t, s in result.level_spans.items()}
+        assert got == want
+        total = sum(got.values())
+        assert total > 0
+
+    def test_reference_reports_none(self, fmodel, train_cameras):
+        result = render_foveated(
+            fmodel, train_cameras[0], config=RenderConfig(backend="reference")
+        )
+        assert result.level_spans is None

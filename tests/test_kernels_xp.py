@@ -298,6 +298,37 @@ class TestTorchNamespace:
         assert np.abs(ref.image - got.image).max() < TOL
         assert ref.stats.blend_pixels == got.stats.blend_pixels
 
+    def test_foveated_batch_matches_reference(self, nsx, torch_backend):
+        from repro.foveation import (
+            render_foveated,
+            render_foveated_batch,
+            uniform_foveated_model,
+        )
+        from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+        from repro.scenes import generate_scene, trace_cameras
+
+        scene = generate_scene("kitchen", n_points=160)
+        train, _ = trace_cameras("kitchen", n_train=1, n_eval=1, width=96, height=64)
+        fmodel = uniform_foveated_model(
+            scene, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS
+        )
+        gazes = [None, (0.0, 0.0), (48.0, 32.0)]
+        batch = render_foveated_batch(
+            fmodel, train[0], gazes=gazes,
+            config=RenderConfig(backend=torch_backend),
+        )
+        for gaze, got in zip(gazes, batch):
+            ref = render_foveated(
+                fmodel, train[0], gaze=gaze,
+                config=RenderConfig(backend="reference"),
+            )
+            assert np.abs(ref.image - got.image).max() < TOL
+            assert ref.stats.blend_pixels == got.stats.blend_pixels
+            assert np.array_equal(
+                ref.stats.sort_intersections_per_tile,
+                got.stats.sort_intersections_per_tile,
+            )
+
     def test_render_batch_via_registry(self, nsx, monkeypatch):
         # End-to-end: REPRO_ARRAY_API=torch resolved through the registry.
         monkeypatch.setenv("REPRO_TORCH_DEVICE", "cpu")
