@@ -5,6 +5,7 @@
     python -m repro.cli prune bicycle --fraction 0.6
     python -m repro.cli foveate room
     python -m repro.cli accel flowers
+    python -m repro.cli serve-sim kitchen --clients 4
 
 Each subcommand builds the relevant models at a small evaluation scale and
 prints a compact report; flags control scene size and resolution.
@@ -70,13 +71,22 @@ def _setup(args: argparse.Namespace):
     )
 
 
+def _view_cache_stats(cache) -> str:
+    """The `cache-stats` line render/foveate print when a cache is active."""
+    return (
+        f"cache-stats: view-cache hits={cache.hits} misses={cache.misses} "
+        f"entries={len(cache)}"
+    )
+
+
 def cmd_render(args: argparse.Namespace) -> int:
     from .perf import DEFAULT_GPU, mean_workload, workload_from_render
-    from .splat import render_batch
+    from .splat import ViewCache, render_batch
 
     setup = _setup(args)
+    cache = ViewCache()
     results = render_batch(
-        setup.scene, setup.eval_cameras, batch_size=args.batch_size
+        setup.scene, setup.eval_cameras, batch_size=args.batch_size, cache=cache
     )
     stats = results[0].stats
     fps = DEFAULT_GPU.fps(mean_workload([workload_from_render(r) for r in results]))
@@ -88,6 +98,7 @@ def cmd_render(args: argparse.Namespace) -> int:
     print(f"projected splats: {stats.num_projected} (first view)")
     print(f"tile intersections: {stats.total_intersections} (first view)")
     print(f"mobile-GPU model: {fps:.1f} FPS (mean over views)")
+    print(_view_cache_stats(cache))
     return 0
 
 
@@ -122,15 +133,20 @@ def cmd_foveate(args: argparse.Namespace) -> int:
     from .foveation import uniform_foveated_model
     from .perf import DEFAULT_GPU, workload_from_fr, workload_from_render
     from .scenes import gaze_trajectory
-    from .splat import render
+    from .splat import ViewCache, render
 
     setup = _setup(args)
     dense = make_mini_splatting_d(setup.scene, seed=args.seed)
     l1 = quick_l1_model(setup, dense, keep_fraction=args.keep)
     fmodel = uniform_foveated_model(l1, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
 
+    cache = ViewCache()
     full = render(l1, setup.eval_cameras[0])
-    fr = render_foveated(fmodel, setup.eval_cameras[0])
+    fr = render_foveated(
+        fmodel,
+        setup.eval_cameras[0],
+        prepared=cache.get(fmodel.base, setup.eval_cameras[0]),
+    )
     fps_full = DEFAULT_GPU.fps(workload_from_render(full))
     fps_fr = DEFAULT_GPU.fps(workload_from_fr(fr.stats))
     print(f"L1 model: {l1.num_points} pts, level counts {list(fmodel.level_counts())}")
@@ -151,12 +167,70 @@ def cmd_foveate(args: argparse.Namespace) -> int:
         )
     ]
     traj = render_foveated_batch(
-        fmodel, setup.eval_cameras[0], gazes=gazes, batch_size=args.batch_size
+        fmodel, setup.eval_cameras[0], gazes=gazes, batch_size=args.batch_size,
+        cache=cache,
     )
     traj_fps = [DEFAULT_GPU.fps(workload_from_fr(r.stats)) for r in traj]
     print(f"gaze trajectory ({len(traj)} frames, batched): "
           f"{min(traj_fps):.1f} / {np.mean(traj_fps):.1f} / {max(traj_fps):.1f} "
           f"FPS (min/mean/max)")
+    print(_view_cache_stats(cache))
+    return 0
+
+
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    from .baselines import make_mini_splatting_d
+    from .foveation import uniform_foveated_model
+    from .harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
+    from .scenes import trace_cameras
+    from .serve import (
+        ServeConfig,
+        WorkloadSpec,
+        generate_serve_trace,
+        replay_naive,
+        replay_trace,
+    )
+
+    setup = _setup(args)
+    dense = make_mini_splatting_d(setup.scene, seed=args.seed)
+    l1 = quick_l1_model(setup, dense, keep_fraction=args.keep)
+    fmodel = uniform_foveated_model(l1, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
+
+    _, poses = trace_cameras(
+        args.trace, n_train=4, n_eval=args.poses, width=args.width,
+        height=args.height, seed=args.seed,
+    )
+    spec = WorkloadSpec(
+        n_clients=args.clients,
+        frames_per_client=args.frames,
+        zipf_s=args.zipf,
+        seed=args.seed,
+    )
+    trace = generate_serve_trace(poses, spec)
+    serve_config = ServeConfig(
+        batch_budget=args.batch_budget,
+        cache_max_bytes=(
+            None if args.cache_mb <= 0 else int(args.cache_mb * (1 << 20))
+        ),
+    )
+
+    print(
+        f"serve-sim {args.trace}: {spec.n_clients} clients x "
+        f"{spec.frames_per_client} frames over {len(poses)} poses "
+        f"(zipf {spec.zipf_s}, {trace.n_requests} requests)"
+    )
+    _, naive_report = replay_naive(fmodel, trace)
+    _, serve_report = replay_trace(
+        fmodel, trace, serve_config=serve_config
+    )
+    for report in (naive_report, serve_report):
+        for line in report.lines():
+            print(line)
+    print(
+        f"serve speedup: {naive_report.wall_s / serve_report.wall_s:.2f}x "
+        f"(hit rate {serve_report.cache_hit_rate:.0%}, "
+        f"mean batch {serve_report.mean_batch_size:.2f})"
+    )
     return 0
 
 
@@ -238,6 +312,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_accel = sub.add_parser("accel", help="accelerator design-space summary")
     _common_args(p_accel)
     p_accel.add_argument("--keep", type=float, default=0.4, help="L1 keep fraction")
+
+    p_serve = sub.add_parser(
+        "serve-sim",
+        help="multi-client serve simulation: batched+cached vs per-request",
+    )
+    _common_args(p_serve)
+    p_serve.add_argument("--keep", type=float, default=0.4, help="L1 keep fraction")
+    p_serve.add_argument("--clients", type=int, default=4, help="concurrent clients")
+    p_serve.add_argument(
+        "--frames", type=int, default=24, help="frames requested per client"
+    )
+    p_serve.add_argument(
+        "--poses", type=int, default=6, help="shared pose-set size"
+    )
+    p_serve.add_argument(
+        "--zipf", type=float, default=1.1, help="pose-popularity skew exponent"
+    )
+    p_serve.add_argument(
+        "--batch-budget", type=int, default=8,
+        help="max requests coalesced into one batched render",
+    )
+    p_serve.add_argument(
+        "--cache-mb", type=float, default=64.0,
+        help="frame-cache byte budget in MiB (<= 0 disables the cache)",
+    )
     return parser
 
 
@@ -248,6 +347,7 @@ COMMANDS = {
     "prune": cmd_prune,
     "foveate": cmd_foveate,
     "accel": cmd_accel,
+    "serve-sim": cmd_serve_sim,
 }
 
 

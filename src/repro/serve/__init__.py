@@ -1,0 +1,81 @@
+"""The async foveated serve subsystem (the heavy-traffic north star's tier).
+
+The first layer above the render dispatchers that treats frames as
+*requests* from many concurrent clients:
+
+- :mod:`repro.serve.regions` — deterministic gaze-region quantization on
+  an eccentricity-aware polar grid, plus :class:`FrameCache`, the
+  byte-budgeted LRU of rendered frames keyed on (model fingerprint,
+  camera, gaze region, config);
+- :mod:`repro.serve.scheduler` — :class:`ServeLoop`, the asyncio
+  micro-batching scheduler coalescing pending requests into
+  :func:`repro.foveation.render_foveated_batch` calls;
+- :mod:`repro.serve.workload` / :mod:`repro.serve.replay` — seeded
+  multi-client trace generation (Zipf pose popularity × gaze scanpaths)
+  and the deterministic replay harness that measures throughput, latency
+  percentiles, hit rate and batch sizes against the naive per-request
+  baseline.
+
+See ``src/repro/serve/README.md`` for the request lifecycle and the cache
+key contract; ``repro.cli serve-sim`` and
+``benchmarks/bench_serve_throughput.py`` drive the whole tier end to end.
+"""
+
+from .regions import (
+    FrameCache,
+    GazeGridSpec,
+    GazeRegionKey,
+    foveated_model_fingerprint,
+    gaze_polar,
+    polar_gaze,
+    quantize_gaze,
+    region_bounds,
+    region_center,
+    ring_area_deg2,
+    ring_edges,
+    ring_width_deg,
+)
+from .replay import ReplayReport, frames_checksum, replay_naive, replay_trace
+from .scheduler import (
+    FrameRequest,
+    FrameResponse,
+    ServeConfig,
+    ServeLoop,
+)
+from .workload import (
+    ServeTrace,
+    TraceRequest,
+    WorkloadSpec,
+    generate_serve_trace,
+    pose_request_counts,
+    zipf_weights,
+)
+
+__all__ = [
+    "FrameCache",
+    "FrameRequest",
+    "FrameResponse",
+    "GazeGridSpec",
+    "GazeRegionKey",
+    "ReplayReport",
+    "ServeConfig",
+    "ServeLoop",
+    "ServeTrace",
+    "TraceRequest",
+    "WorkloadSpec",
+    "foveated_model_fingerprint",
+    "frames_checksum",
+    "gaze_polar",
+    "generate_serve_trace",
+    "polar_gaze",
+    "pose_request_counts",
+    "quantize_gaze",
+    "region_bounds",
+    "region_center",
+    "replay_naive",
+    "replay_trace",
+    "ring_area_deg2",
+    "ring_edges",
+    "ring_width_deg",
+    "zipf_weights",
+]

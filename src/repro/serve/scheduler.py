@@ -1,0 +1,376 @@
+"""The async serve loop: request coalescing over ``render_foveated_batch``.
+
+The first layer above the render dispatchers that treats frames as
+*requests*.  Clients ``await ServeLoop.submit(FrameRequest)``; the loop
+
+1. serves exact-key :class:`~repro.serve.regions.FrameCache` hits
+   synchronously (no queueing, no render),
+2. queues misses for the batcher task, which coalesces everything pending
+   — up to ``batch_budget`` requests, waiting at most ``batch_deadline_s``
+   for the batch to fill — and dispatches each **pose's** requests as one
+   :func:`repro.foveation.render_foveated_batch` call (the pose's
+   projection prefix is prepared once; its gaze samples' level passes
+   ride one concatenated span scan, which is exact per frame),
+3. de-duplicates requests that collapse onto the same cache key inside a
+   batch: the key's first request is rendered at *its* gaze, later ones are
+   served from that frame as hits.
+
+Guarantees: in the default ``exact_frames`` mode a cache-miss response is
+**bit-identical** to a per-request :func:`repro.foveation.render_foveated`
+call at the request's own camera and gaze (batch-of-one dispatch is exact;
+``exact_frames=False`` trades that for one concatenated scan per pose
+group at 1e-10 equivalence); a hit
+returns a frame previously rendered for the same (model, pose, gaze
+region, config) key — never across model mutations, backends, or poses.
+
+Per-request latency, batch sizes and cache counters are recorded on the
+loop for the replay harness and benchmarks.  Rendering runs inline on the
+event loop (the simulation measures scheduling and cache policy, not OS
+thread handoff) — ``submit`` callers therefore observe batching latency
+exactly as a single-threaded server would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Sequence
+
+from ..foveation import FRRenderResult, render_foveated_batch
+from ..foveation.hierarchy import FoveatedModel
+from ..splat.camera import Camera
+from ..splat.renderer import RenderConfig, ViewCache
+from .regions import FrameCache, GazeGridSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameRequest:
+    """One client's ask for a foveated frame at a pose and gaze."""
+
+    client_id: int
+    camera: Camera
+    gaze: tuple[float, float] | None = None
+
+
+@dataclasses.dataclass(repr=False)
+class FrameResponse:
+    """A served frame plus how it was produced (for reports and tests)."""
+
+    request: FrameRequest
+    result: FRRenderResult
+    cache_hit: bool
+    batch_size: int  # distinct renders in the batch that produced it (0 = pure hit)
+    latency_s: float
+
+    def __repr__(self) -> str:
+        # Compact on purpose: the default dataclass repr would stringify the
+        # frame's pixel and map arrays — asyncio reprs task results during
+        # teardown, which made *printing* responses cost more than
+        # rendering them.
+        return (
+            f"FrameResponse(client={self.request.client_id}, "
+            f"cache_hit={self.cache_hit}, batch_size={self.batch_size}, "
+            f"latency_ms={self.latency_s * 1e3:.3f})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Scheduler knobs (see ``serve/README.md`` for the tuning story).
+
+    ``batch_budget`` caps how many queued requests coalesce into one
+    batching cycle; ``batch_deadline_s`` is the longest the batcher waits
+    for the batch to fill once it holds a request (0 = batch only what is
+    already pending — the deterministic replay setting).  ``cache_max_bytes
+    = None`` disables the frame cache entirely (every request renders).
+
+    ``exact_frames`` picks the miss-render dispatch: ``True`` (default)
+    chunks each pose group to batch-of-one inside its
+    ``render_foveated_batch`` call — every served frame is **bit-identical**
+    to a per-request ``render_foveated``, and the pose preparation is still
+    shared across the group.  ``False`` rides the whole pose group on one
+    concatenated span scan — highest throughput, but concatenation perturbs
+    last-bit rounding across frames, so frames only match per-request
+    renders to the backend-equivalence tolerance (1e-10).
+    """
+
+    batch_budget: int = 8
+    batch_deadline_s: float = 0.0
+    cache_max_bytes: int | None = 64 << 20
+    grid: GazeGridSpec = GazeGridSpec()
+    exact_frames: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_budget < 1:
+            raise ValueError("batch_budget must be at least 1")
+        if self.batch_deadline_s < 0:
+            raise ValueError("batch_deadline_s must be non-negative")
+
+
+@dataclasses.dataclass
+class _Pending:
+    request: FrameRequest
+    key: tuple
+    future: asyncio.Future
+    t_submit: float
+
+
+class ServeLoop:
+    """Accepts per-client frame requests, serves them cached and batched.
+
+    Use as an async context manager (or ``start()`` / ``close()``)::
+
+        async with ServeLoop(fmodel, config) as loop:
+            response = await loop.submit(FrameRequest(0, camera, gaze))
+
+    ``close()`` drains the queue before returning, so every submitted
+    request is answered.  One ``ViewCache`` (shared or private) memoizes
+    pose prefixes across batches; the ``FrameCache`` holds whole frames per
+    gaze region.
+    """
+
+    def __init__(
+        self,
+        fmodel: FoveatedModel,
+        config: RenderConfig | None = None,
+        serve_config: ServeConfig | None = None,
+        frame_cache: FrameCache | None = None,
+        view_cache: ViewCache | None = None,
+    ) -> None:
+        self.fmodel = fmodel
+        self.render_config = config or RenderConfig()
+        self.serve_config = serve_config or ServeConfig()
+        if frame_cache is not None:
+            self.frame_cache: FrameCache | None = frame_cache
+        elif self.serve_config.cache_max_bytes is not None:
+            self.frame_cache = FrameCache(
+                max_bytes=self.serve_config.cache_max_bytes,
+                spec=self.serve_config.grid,
+            )
+        else:
+            self.frame_cache = None
+        # Key computation lives on a FrameCache even when caching is
+        # disabled (keys still drive in-batch dedup).
+        self._keyer = self.frame_cache or FrameCache(spec=self.serve_config.grid)
+        self.view_cache = view_cache or ViewCache(maxsize=256)
+        self.latencies_s: list[float] = []
+        self.batch_sizes: list[int] = []
+        self.requests_served = 0
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._batcher: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._batcher is not None:
+            raise RuntimeError("ServeLoop already started")
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.create_task(self._run())
+
+    async def close(self) -> None:
+        """Drain every queued request, then stop the batcher."""
+        if self._batcher is None:
+            return
+        await self._queue.join()
+        self._batcher.cancel()
+        try:
+            await self._batcher
+        except asyncio.CancelledError:
+            pass
+        self._batcher = None
+        self._queue = None
+
+    async def __aenter__(self) -> "ServeLoop":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _request_key(self, request: FrameRequest) -> tuple:
+        return self._keyer.key(
+            self.fmodel, request.camera, request.gaze, self.render_config
+        )
+
+    async def submit(self, request: FrameRequest) -> FrameResponse:
+        """Serve one request: synchronously on a cache hit, batched otherwise."""
+        if self._queue is None:
+            raise RuntimeError("ServeLoop is not running (use `async with`)")
+        t0 = time.perf_counter()
+        key = self._request_key(request)
+        if self.frame_cache is not None:
+            # Counters are managed per *request outcome* (here and in
+            # ``_render_batch``) rather than per raw lookup, so a queued
+            # request re-checked before rendering is never double-counted:
+            # cache hits + misses always sum to requests served.
+            result = self.frame_cache.peek(key)
+            if result is not None:
+                self.frame_cache.hits += 1
+                latency = time.perf_counter() - t0
+                self.latencies_s.append(latency)
+                self.requests_served += 1
+                return FrameResponse(
+                    request=request,
+                    result=result,
+                    cache_hit=True,
+                    batch_size=0,
+                    latency_s=latency,
+                )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_Pending(request, key, future, t0))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Batcher
+    # ------------------------------------------------------------------
+    async def _collect(self) -> list[_Pending]:
+        """Block for one pending request, then coalesce up to the budget.
+
+        Everything already queued is taken immediately; if the batch is
+        still short and a deadline is configured, the batcher keeps
+        accepting arrivals until it expires.
+        """
+        assert self._queue is not None
+        budget = self.serve_config.batch_budget
+        batch = [await self._queue.get()]
+        while len(batch) < budget and not self._queue.empty():
+            batch.append(self._queue.get_nowait())
+        if self.serve_config.batch_deadline_s > 0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.serve_config.batch_deadline_s
+            while len(batch) < budget:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout)
+                    )
+                except asyncio.TimeoutError:
+                    break
+        return batch
+
+    async def _run(self) -> None:
+        assert self._queue is not None
+        while True:
+            batch = await self._collect()
+            try:
+                self._render_batch(batch)
+            except Exception as exc:  # pragma: no cover - backstop only
+                # _render_batch scopes render errors to their pose group;
+                # anything escaping here is a scheduler bug, but clients
+                # must still never hang on an unresolved future.
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _render_batch(self, batch: Sequence[_Pending]) -> None:
+        """Render a coalesced batch and resolve every pending future.
+
+        Requests are grouped twice: by cache key — the first request of
+        each key is rendered (at its own camera and gaze), later requests
+        of the same key are served from that frame, and a key that became
+        a hit while queued is served from cache — and then by **pose**:
+        each pose's misses go through one ``render_foveated_batch`` call
+        sharing the pose's projection prefix.  In ``exact_frames`` mode
+        the call is chunked to batch-of-one (bit-identical to per-request
+        renders — the segmented scans re-centre a global cumsum, so
+        multi-frame concatenation perturbs last-bit rounding); otherwise
+        the group rides one concatenated scan.
+        """
+        to_render: list[_Pending] = []
+        followers: dict[tuple, list[_Pending]] = {}
+        hits: list[tuple[_Pending, FRRenderResult]] = []
+        for pending in batch:
+            if pending.key in followers:
+                followers[pending.key].append(pending)
+                continue
+            if self.frame_cache is not None:
+                cached = self.frame_cache.peek(pending.key)
+                if cached is not None:
+                    self.frame_cache.hits += 1
+                    hits.append((pending, cached))
+                    continue
+            followers[pending.key] = []
+            to_render.append(pending)
+
+        # Hits resolve before any rendering: their frames are already in
+        # hand, so a render failure elsewhere in the batch must not reach
+        # them (and their latency must not include the batch's renders).
+        now = time.perf_counter()
+        for pending, result in hits:
+            self._resolve(pending, result, cache_hit=True, batch_size=0, now=now)
+
+        # Pose groups: the camera fingerprint is the key's second element.
+        pose_groups: dict[tuple, list[_Pending]] = {}
+        for pending in to_render:
+            pose_groups.setdefault(pending.key[1], []).append(pending)
+        rendered: list[tuple[_Pending, FRRenderResult]] = []
+        for group in pose_groups.values():
+            try:
+                results = render_foveated_batch(
+                    self.fmodel,
+                    group[0].request.camera,
+                    gazes=[p.request.gaze for p in group],
+                    config=self.render_config,
+                    batch_size=1 if self.serve_config.exact_frames else None,
+                    cache=self.view_cache,
+                )
+            except Exception as exc:
+                # A failing pose fails only its own group (and the
+                # followers waiting on those keys); other poses in the
+                # batch still render and hits were already served.
+                for pending in group:
+                    pending.future.set_exception(exc)
+                    for follower in followers[pending.key]:
+                        follower.future.set_exception(exc)
+                continue
+            self.batch_sizes.append(len(group))
+            rendered.extend(zip(group, results))
+
+        now = time.perf_counter()
+        for pending, result in rendered:
+            if self.frame_cache is not None:
+                self.frame_cache.misses += 1
+                self.frame_cache.put(pending.key, result)
+            self._resolve(
+                pending, result, cache_hit=False, batch_size=len(to_render), now=now
+            )
+            for follower in followers[pending.key]:
+                # A coalesced duplicate is a cache hit in every way that
+                # matters: it is served from the keyed frame, not rendered.
+                if self.frame_cache is not None:
+                    self.frame_cache.hits += 1
+                self._resolve(
+                    follower, result, cache_hit=True, batch_size=0, now=now
+                )
+
+    def _resolve(
+        self,
+        pending: _Pending,
+        result: FRRenderResult,
+        cache_hit: bool,
+        batch_size: int,
+        now: float,
+    ) -> None:
+        latency = now - pending.t_submit
+        self.latencies_s.append(latency)
+        self.requests_served += 1
+        if not pending.future.done():
+            pending.future.set_result(
+                FrameResponse(
+                    request=pending.request,
+                    result=result,
+                    cache_hit=cache_hit,
+                    batch_size=batch_size,
+                    latency_s=latency,
+                )
+            )

@@ -1,0 +1,147 @@
+"""Multi-client serve workloads: who looks where, when.
+
+Generates the request stream the serve tier is measured on: ``n_clients``
+clients, each dwelling on poses drawn from a **Zipf-skewed popularity**
+distribution over a shared pose set (a few poses are hot, the tail is
+cold — the regime where an application-level cache pays for itself) and
+sweeping a human gaze scanpath (:func:`repro.scenes.gaze_trajectory`:
+fixations with drift, ballistic saccades) across each dwell.
+
+Everything is a pure function of the spec's seed: two calls produce the
+same :class:`ServeTrace` request for request, which is what makes replay
+comparisons (batched+cached vs naive) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..scenes.gaze import GazeModel, gaze_trajectory
+from ..splat.camera import Camera
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a multi-client trace (all fields drive the same RNG seed).
+
+    ``zipf_s`` is the popularity exponent: pose ``k`` (0-based rank) is
+    drawn with probability ``∝ 1/(k+1)^zipf_s``.  ``pose_dwell_frames``
+    bounds how long a client stays on one pose before re-drawing — dwells
+    give the trace the temporal locality real viewers have.
+    """
+
+    n_clients: int = 4
+    frames_per_client: int = 32
+    fps: float = 30.0
+    zipf_s: float = 1.1
+    pose_dwell_frames: tuple[int, int] = (4, 12)
+    gaze_model: GazeModel = GazeModel()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be at least 1")
+        if self.frames_per_client < 1:
+            raise ValueError("frames_per_client must be at least 1")
+        lo, hi = self.pose_dwell_frames
+        if lo < 1 or hi < lo:
+            raise ValueError("pose_dwell_frames must be 1 <= lo <= hi")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRequest:
+    """One timestamped request: client ``client_id`` wants pose ``pose_index``
+    with its gaze at ``gaze`` at simulated time ``time_s``."""
+
+    time_s: float
+    client_id: int
+    frame_index: int
+    pose_index: int
+    gaze: tuple[float, float]
+
+
+@dataclasses.dataclass
+class ServeTrace:
+    """A replayable workload: the shared pose set + the time-sorted requests."""
+
+    cameras: list[Camera]
+    requests: list[TraceRequest]
+    spec: WorkloadSpec
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    def camera_of(self, request: TraceRequest) -> Camera:
+        return self.cameras[request.pose_index]
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf popularity of ``n`` ranks: ``p(k) ∝ 1/(k+1)^s``."""
+    if n < 1:
+        raise ValueError("need at least one rank")
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+    return weights / weights.sum()
+
+
+def generate_serve_trace(
+    cameras: list[Camera],
+    spec: WorkloadSpec | None = None,
+) -> ServeTrace:
+    """Build the deterministic multi-client request stream over ``cameras``.
+
+    Pose rank equals pose index (``cameras[0]`` is the hottest), so tests
+    and reports can reason about popularity without carrying a permutation
+    around.  Each client runs its own gaze scanpath (seeded per client) and
+    emits one request per frame at ``spec.fps`` with a per-client phase
+    offset; the merged stream is sorted by time with ``(client, frame)`` as
+    the deterministic tie-break.
+    """
+    spec = spec or WorkloadSpec()
+    if not cameras:
+        raise ValueError("need at least one camera")
+    weights = zipf_weights(len(cameras), spec.zipf_s)
+    width, height = cameras[0].width, cameras[0].height
+
+    requests: list[TraceRequest] = []
+    for client in range(spec.n_clients):
+        rng = np.random.default_rng(spec.seed + 7919 * client)
+        gazes = gaze_trajectory(
+            width,
+            height,
+            spec.frames_per_client,
+            fps=spec.fps,
+            model=spec.gaze_model,
+            seed=spec.seed + 104729 * client,
+        )
+        phase = float(rng.uniform(0.0, 1.0 / spec.fps))
+        frame = 0
+        while frame < spec.frames_per_client:
+            pose = int(rng.choice(len(cameras), p=weights))
+            lo, hi = spec.pose_dwell_frames
+            dwell = int(rng.integers(lo, hi + 1))
+            for _ in range(min(dwell, spec.frames_per_client - frame)):
+                requests.append(
+                    TraceRequest(
+                        time_s=phase + frame / spec.fps,
+                        client_id=client,
+                        frame_index=frame,
+                        pose_index=pose,
+                        gaze=(float(gazes[frame, 0]), float(gazes[frame, 1])),
+                    )
+                )
+                frame += 1
+    requests.sort(key=lambda r: (r.time_s, r.client_id, r.frame_index))
+    return ServeTrace(cameras=list(cameras), requests=requests, spec=spec)
+
+
+def pose_request_counts(trace: ServeTrace) -> np.ndarray:
+    """How many requests each pose received, ``(n_poses,)`` (skew checks)."""
+    counts = np.zeros(len(trace.cameras), dtype=np.int64)
+    for request in trace.requests:
+        counts[request.pose_index] += 1
+    return counts

@@ -29,6 +29,13 @@ foveated renderer), per process (``repro.splat.backends.set_default_backend``
 or the ``--backend`` CLI flag), or per environment (``REPRO_BACKEND``).
 """
 
+from .cachekey import (
+    camera_fingerprint,
+    content_fingerprint,
+    model_fingerprint,
+    prepare_config_fingerprint,
+    render_config_fingerprint,
+)
 from .backends import (
     BackendInfo,
     available_backends,
@@ -86,6 +93,11 @@ __all__ = [
     "available_backends",
     "backend_info",
     "backend_registry",
+    "camera_fingerprint",
+    "content_fingerprint",
+    "model_fingerprint",
+    "prepare_config_fingerprint",
+    "render_config_fingerprint",
     "composite",
     "composite_per_pixel",
     "describe_backends",

@@ -16,10 +16,14 @@ measurements of the same (model, pose) never re-project.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 
 import numpy as np
 
+from .cachekey import (
+    camera_fingerprint,
+    model_fingerprint,
+    prepare_config_fingerprint,
+)
 from .camera import Camera
 from .gaussians import GaussianModel
 from .projection import ProjectedGaussians, project_gaussians
@@ -105,45 +109,13 @@ def prepare_view(
     return PreparedView(projected=projected, assignment=assignment)
 
 
-def _model_key(model: GaussianModel) -> bytes:
-    """Content fingerprint of a model's parameters (robust to mutation)."""
-    digest = hashlib.blake2b(digest_size=16)
-    for array in (
-        model.positions,
-        model.log_scales,
-        model.rotations,
-        model.opacity_logits,
-        model.sh,
-    ):
-        digest.update(np.ascontiguousarray(array).tobytes())
-    return digest.digest()
-
-
-def _camera_key(camera: Camera) -> tuple:
-    return (
-        camera.width,
-        camera.height,
-        camera.fx,
-        camera.fy,
-        camera.cx,
-        camera.cy,
-        camera.near,
-        camera.far,
-        camera.world_to_cam_rotation.tobytes(),
-        camera.world_to_cam_translation.tobytes(),
-    )
-
-
-def _config_key(config: RenderConfig) -> tuple:
-    # Only the fields the view-preparation prefix depends on.
-    return (config.tile_size, config.smoothing_3d)
-
-
 class ViewCache:
     """Memoizes :func:`prepare_view` per (model, pose, prepare-config).
 
-    Keys are content fingerprints — the model's parameter arrays, the
-    camera's geometry and the config fields that affect preparation — so a
+    Keys are content fingerprints (:mod:`repro.splat.cachekey`, shared with
+    the serve tier's :class:`repro.serve.FrameCache`) — the model's
+    parameter arrays, the camera's geometry and the config fields that
+    affect preparation — so a
     cache survives model copies and fresh ``Camera`` objects, and a mutated
     model (e.g. mid-finetuning) never serves stale projections.  ``hits`` /
     ``misses`` make the sharing observable for tests and benchmarks.
@@ -186,11 +158,11 @@ class ViewCache:
         once for the whole batch, not once per camera.
         """
         config = config or RenderConfig()
-        model_key = _model_key(model)
-        config_key = _config_key(config)
+        model_key = model_fingerprint(model)
+        config_key = prepare_config_fingerprint(config)
         views = []
         for camera in cameras:
-            key = (model_key, _camera_key(camera), config_key)
+            key = (model_key, camera_fingerprint(camera), config_key)
             view = self._entries.pop(key, None)
             if view is not None:
                 self.hits += 1

@@ -81,6 +81,8 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "tile intersections" in out and "FPS" in out
+        # The active view cache is reported (satellite: counters surfaced).
+        assert "cache-stats: view-cache hits=" in out
 
     def test_render_with_batch_size(self, capsys):
         code = main(["render", "bonsai", "--points", "200", "--width", "64",
@@ -102,6 +104,39 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "FR speedup" in out
+        # The single frame misses, the gaze trajectory then shares the pose.
+        assert "cache-stats: view-cache hits=1 misses=1" in out
+
+    def test_serve_sim(self, capsys):
+        code = main(["serve-sim", "bonsai", "--points", "150", "--width", "48",
+                     "--height", "32", "--clients", "2", "--frames", "6",
+                     "--poses", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "naive per-request" in out
+        assert "serve-loop (batched+cached)" in out
+        assert "cache-stats:" in out
+        assert "serve speedup:" in out
+        assert "hit rate" in out
+
+    def test_serve_sim_cache_disabled(self, capsys):
+        code = main(["serve-sim", "bonsai", "--points", "150", "--width", "48",
+                     "--height", "32", "--clients", "2", "--frames", "4",
+                     "--poses", "2", "--cache-mb", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve speedup:" in out
+        assert "cache-stats:" not in out
+
+    def test_serve_sim_flags(self):
+        args = build_parser().parse_args(
+            ["serve-sim", "garden", "--clients", "8", "--batch-budget", "4",
+             "--zipf", "0.9"]
+        )
+        assert args.clients == 8
+        assert args.batch_budget == 4
+        assert args.zipf == 0.9
+        assert args.cache_mb == 64.0
 
     def test_accel(self, capsys):
         code = main(["accel", "bonsai", "--points", "200", "--width", "64",

@@ -243,13 +243,13 @@ class TestPreparationSharing:
         import repro.splat.renderer as renderer
 
         hashes = []
-        real = renderer._model_key
+        real = renderer.model_fingerprint
 
         def counting(model):
             hashes.append(1)
             return real(model)
 
-        monkeypatch.setattr(renderer, "_model_key", counting)
+        monkeypatch.setattr(renderer, "model_fingerprint", counting)
         cache = ViewCache()
         render_foveated_batch(
             fmodel, train_cameras[:2], gazes=(10.0, 10.0), cache=cache

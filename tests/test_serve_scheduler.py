@@ -1,0 +1,344 @@
+"""ServeLoop: micro-batching, caching, dedup, exactness, lifecycle."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.foveation import render_foveated, uniform_foveated_model
+from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+from repro.scenes import trace_cameras
+from repro.serve import (
+    FrameRequest,
+    GazeGridSpec,
+    ServeConfig,
+    ServeLoop,
+    region_center,
+    quantize_gaze,
+)
+from repro.splat import random_model
+
+WIDTH, HEIGHT = 64, 48
+
+
+@pytest.fixture(scope="module")
+def fmodel():
+    return uniform_foveated_model(
+        random_model(80, np.random.default_rng(3)),
+        EVAL_REGION_LAYOUT,
+        EVAL_LEVEL_FRACTIONS,
+    )
+
+
+@pytest.fixture(scope="module")
+def cameras():
+    _, evals = trace_cameras(
+        "kitchen", n_train=4, n_eval=4, width=WIDTH, height=HEIGHT
+    )
+    return evals
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_submit_requires_running_loop(self, fmodel, cameras):
+        loop = ServeLoop(fmodel)
+
+        async def bad():
+            await loop.submit(FrameRequest(0, cameras[0]))
+
+        with pytest.raises(RuntimeError, match="not running"):
+            run(bad())
+
+    def test_double_start_rejected(self, fmodel):
+        async def bad():
+            async with ServeLoop(fmodel) as loop:
+                await loop.start()
+
+        with pytest.raises(RuntimeError, match="already started"):
+            run(bad())
+
+    def test_close_drains_pending(self, fmodel, cameras):
+        async def scenario():
+            loop = ServeLoop(fmodel)
+            await loop.start()
+            tasks = [
+                asyncio.create_task(
+                    loop.submit(FrameRequest(i, cameras[i % 2], (10.0 * i, 8.0)))
+                )
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)  # let submits enqueue, not resolve
+            await loop.close()
+            return await asyncio.gather(*tasks)
+
+        responses = run(scenario())
+        assert len(responses) == 4
+        assert all(r.result.image.shape == (HEIGHT, WIDTH, 3) for r in responses)
+
+
+class TestBatchingAndCaching:
+    def test_miss_is_bit_identical_to_render_foveated(self, fmodel, cameras):
+        gaze = (20.0, 15.0)
+
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                return await loop.submit(FrameRequest(0, cameras[0], gaze))
+
+        response = run(scenario())
+        assert not response.cache_hit
+        ref = render_foveated(fmodel, cameras[0], gaze=gaze)
+        assert np.array_equal(ref.image, response.result.image)
+
+    def test_concurrent_requests_coalesce(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(
+                fmodel, serve_config=ServeConfig(batch_budget=8)
+            ) as loop:
+                spec = loop.serve_config.grid
+                # Distinct gaze regions of one pose: no dedup, one batch.
+                gazes = [
+                    region_center(
+                        cameras[0], spec, quantize_gaze(cameras[0], g, spec)
+                    )
+                    for g in [(5.0, 5.0), (60.0, 40.0), (32.0, 24.0)]
+                ]
+                responses = await asyncio.gather(
+                    *(
+                        loop.submit(FrameRequest(i, cameras[0], gaze))
+                        for i, gaze in enumerate(gazes)
+                    )
+                )
+                return loop.batch_sizes, responses
+
+        batch_sizes, responses = run(scenario())
+        rendered = {r.batch_size for r in responses if not r.cache_hit}
+        assert len(set(quantize_gaze(cameras[0], r.request.gaze) for r in responses)) == 3
+        assert batch_sizes == [3]
+        assert rendered == {3}
+
+    def test_budget_splits_batches(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(
+                fmodel, serve_config=ServeConfig(batch_budget=2, cache_max_bytes=None)
+            ) as loop:
+                await asyncio.gather(
+                    *(
+                        loop.submit(
+                            FrameRequest(i, cameras[i % len(cameras)], (float(i), 5.0))
+                        )
+                        for i in range(5)
+                    )
+                )
+                return loop.batch_sizes
+
+        batch_sizes = run(scenario())
+        assert max(batch_sizes) <= 2
+        assert sum(batch_sizes) == 5
+
+    def test_same_region_request_hits_cache(self, fmodel, cameras):
+        gaze = (20.0, 15.0)
+
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                first = await loop.submit(FrameRequest(0, cameras[0], gaze))
+                nearby = region_center(
+                    cameras[0],
+                    loop.serve_config.grid,
+                    quantize_gaze(cameras[0], gaze, loop.serve_config.grid),
+                )
+                second = await loop.submit(FrameRequest(1, cameras[0], nearby))
+                return loop, first, second
+
+        loop, first, second = run(scenario())
+        assert not first.cache_hit and second.cache_hit
+        # The hit serves the frame rendered for the earlier gaze in the
+        # same region — object-identical, zero render work.
+        assert second.result is first.result
+        assert loop.frame_cache.hits == 1 and loop.frame_cache.misses == 1
+
+    def test_in_batch_duplicates_dedup_to_one_render(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                responses = await asyncio.gather(
+                    *(
+                        loop.submit(FrameRequest(i, cameras[0], (20.0, 15.0)))
+                        for i in range(4)
+                    )
+                )
+                return loop, responses
+
+        loop, responses = run(scenario())
+        misses = [r for r in responses if not r.cache_hit]
+        assert len(misses) == 1  # one render served all four clients
+        assert loop.batch_sizes == [1]
+        for r in responses:
+            assert np.array_equal(r.result.image, misses[0].result.image)
+
+    def test_throughput_mode_matches_within_tolerance(self, fmodel, cameras):
+        # exact_frames=False rides a whole pose group on one concatenated
+        # scan: not bit-exact (last-bit rounding moves with batch
+        # composition) but within the backend-equivalence tolerance.
+        async def scenario():
+            async with ServeLoop(
+                fmodel,
+                serve_config=ServeConfig(exact_frames=False, cache_max_bytes=None),
+            ) as loop:
+                return await asyncio.gather(
+                    *(
+                        loop.submit(FrameRequest(i, cameras[0], gaze))
+                        for i, gaze in enumerate(
+                            [(5.0, 5.0), (60.0, 40.0), (32.0, 24.0)]
+                        )
+                    )
+                )
+
+        for response in run(scenario()):
+            ref = render_foveated(
+                fmodel, response.request.camera, gaze=response.request.gaze
+            )
+            assert np.abs(ref.image - response.result.image).max() < 1e-10
+
+    def test_pose_change_misses(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                a = await loop.submit(FrameRequest(0, cameras[0], (20.0, 15.0)))
+                b = await loop.submit(FrameRequest(0, cameras[1], (20.0, 15.0)))
+                return a, b
+
+        a, b = run(scenario())
+        assert not a.cache_hit and not b.cache_hit
+
+    def test_model_mutation_invalidates(self, fmodel, cameras):
+        # The acceptance-critical property: after the model changes, the
+        # same request must re-render (fingerprint key) and match a fresh
+        # per-request render of the mutated model bit for bit.
+        base = uniform_foveated_model(
+            random_model(60, np.random.default_rng(9)),
+            EVAL_REGION_LAYOUT,
+            EVAL_LEVEL_FRACTIONS,
+        )
+        gaze = (20.0, 15.0)
+
+        async def scenario():
+            async with ServeLoop(base) as loop:
+                before = await loop.submit(FrameRequest(0, cameras[0], gaze))
+                base.base.positions[:, 0] += 0.05
+                base.mv_opacity_logits[:, 0] += 0.1
+                after = await loop.submit(FrameRequest(0, cameras[0], gaze))
+                return before, after
+
+        before, after = run(scenario())
+        assert not before.cache_hit and not after.cache_hit
+        ref = render_foveated(base, cameras[0], gaze=gaze)
+        assert np.array_equal(ref.image, after.result.image)
+        assert not np.array_equal(before.result.image, after.result.image)
+
+    def test_disabled_cache_always_renders(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(
+                fmodel, serve_config=ServeConfig(cache_max_bytes=None)
+            ) as loop:
+                a = await loop.submit(FrameRequest(0, cameras[0], (20.0, 15.0)))
+                b = await loop.submit(FrameRequest(0, cameras[0], (20.0, 15.0)))
+                return loop, a, b
+
+        loop, a, b = run(scenario())
+        assert loop.frame_cache is None
+        assert not a.cache_hit and not b.cache_hit
+        assert np.array_equal(a.result.image, b.result.image)
+
+    def test_latencies_and_served_recorded(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                await loop.submit(FrameRequest(0, cameras[0], (20.0, 15.0)))
+                await loop.submit(FrameRequest(1, cameras[0], (20.0, 15.0)))
+                return loop
+
+        loop = run(scenario())
+        assert loop.requests_served == 2
+        assert len(loop.latencies_s) == 2
+        assert all(lat >= 0 for lat in loop.latencies_s)
+
+    def test_deadline_waits_for_stragglers(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(
+                fmodel,
+                serve_config=ServeConfig(
+                    batch_budget=2, batch_deadline_s=0.25, cache_max_bytes=None
+                ),
+            ) as loop:
+                first = asyncio.create_task(
+                    loop.submit(FrameRequest(0, cameras[0], (5.0, 5.0)))
+                )
+                await asyncio.sleep(0.02)  # batcher now holds request 0
+                second = asyncio.create_task(
+                    loop.submit(FrameRequest(1, cameras[0], (40.0, 30.0)))
+                )
+                await asyncio.gather(first, second)
+                return loop.batch_sizes
+
+        batch_sizes = run(scenario())
+        # The straggler arrived within the deadline: one pose group of two.
+        assert batch_sizes == [2]
+
+
+class TestFailureIsolation:
+    def test_render_failure_scoped_to_its_pose_group(
+        self, fmodel, cameras, monkeypatch
+    ):
+        # Regression: a pose whose render raises must fail only its own
+        # requests — other poses in the coalesced batch still render, and
+        # cache hits (whose frames are already in hand) still resolve.
+        import repro.serve.scheduler as scheduler_mod
+
+        real = scheduler_mod.render_foveated_batch
+        bad_camera = cameras[1]
+
+        def failing(fmodel_arg, camera, **kwargs):
+            if camera is bad_camera:
+                raise RuntimeError("pose exploded")
+            return real(fmodel_arg, camera, **kwargs)
+
+        monkeypatch.setattr(scheduler_mod, "render_foveated_batch", failing)
+
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                hit_seed = await loop.submit(
+                    FrameRequest(0, cameras[0], (20.0, 15.0))
+                )
+                results = await asyncio.gather(
+                    loop.submit(FrameRequest(1, cameras[0], (20.0, 15.0))),  # hit
+                    loop.submit(FrameRequest(2, bad_camera, (20.0, 15.0))),
+                    loop.submit(FrameRequest(3, cameras[2], (20.0, 15.0))),
+                    return_exceptions=True,
+                )
+                return hit_seed, results
+
+        hit_seed, (hit, failed, other) = run(scenario())
+        assert not hit_seed.cache_hit
+        assert hit.cache_hit and hit.result is hit_seed.result
+        assert isinstance(failed, RuntimeError)
+        assert other.result.image.shape == (HEIGHT, WIDTH, 3)
+
+
+class TestConfigValidation:
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="batch_budget"):
+            ServeConfig(batch_budget=0)
+
+    def test_bad_deadline(self):
+        with pytest.raises(ValueError, match="batch_deadline_s"):
+            ServeConfig(batch_deadline_s=-1.0)
+
+    def test_compact_response_repr(self, fmodel, cameras):
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                return await loop.submit(FrameRequest(0, cameras[0], (5.0, 5.0)))
+
+        text = repr(run(scenario()))
+        # Guard against regressing to the default dataclass repr, which
+        # stringifies whole frames (asyncio reprs task results on teardown).
+        assert len(text) < 200 and "FrameResponse" in text
