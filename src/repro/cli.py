@@ -186,9 +186,12 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     from .serve import (
         ServeConfig,
         WorkloadSpec,
+        default_shards,
+        default_workers,
         generate_serve_trace,
         replay_naive,
         replay_trace,
+        replay_trace_sharded,
     )
 
     setup = _setup(args)
@@ -207,30 +210,48 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     trace = generate_serve_trace(poses, spec)
+    workers = default_workers() if args.workers is None else args.workers
+    shards = default_shards() if args.shards is None else args.shards
+    if workers < 0 or shards < 1:
+        print("error: --workers must be >= 0 and --shards >= 1", file=sys.stderr)
+        return 2
     serve_config = ServeConfig(
         batch_budget=args.batch_budget,
         cache_max_bytes=(
             None if args.cache_mb <= 0 else int(args.cache_mb * (1 << 20))
         ),
+        workers=workers,
     )
 
     print(
         f"serve-sim {args.trace}: {spec.n_clients} clients x "
         f"{spec.frames_per_client} frames over {len(poses)} poses "
-        f"(zipf {spec.zipf_s}, {trace.n_requests} requests)"
+        f"(zipf {spec.zipf_s}, {trace.n_requests} requests, "
+        f"{shards} shard{'s' if shards != 1 else ''}, "
+        f"{workers} worker{'s' if workers != 1 else ''})"
     )
     _, naive_report = replay_naive(fmodel, trace)
-    _, serve_report = replay_trace(
-        fmodel, trace, serve_config=serve_config
-    )
+    if shards > 1:
+        _, serve_report = replay_trace_sharded(
+            fmodel, trace, serve_config=serve_config, n_shards=shards
+        )
+    else:
+        _, serve_report = replay_trace(
+            fmodel, trace, serve_config=serve_config
+        )
     for report in (naive_report, serve_report):
         for line in report.lines():
             print(line)
-    print(
+    summary = (
         f"serve speedup: {naive_report.wall_s / serve_report.wall_s:.2f}x "
         f"(hit rate {serve_report.cache_hit_rate:.0%}, "
-        f"mean batch {serve_report.mean_batch_size:.2f})"
+        f"mean batch {serve_report.mean_batch_size:.2f}"
     )
+    if serve_report.shard_stats is not None:
+        summary += (
+            f", imbalance {serve_report.shard_stats['imbalance_factor']:.2f}x"
+        )
+    print(summary + ")")
     return 0
 
 
@@ -336,6 +357,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-mb", type=float, default=64.0,
         help="frame-cache byte budget in MiB (<= 0 disables the cache)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="render worker processes (default: $REPRO_SERVE_WORKERS or "
+        "0 = render inline on the event loop)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=None,
+        help="consistent-hash serve shards (default: $REPRO_SERVE_SHARDS "
+        "or 1 = a single un-sharded loop)",
     )
     return parser
 

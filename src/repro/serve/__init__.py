@@ -10,11 +10,20 @@ The first layer above the render dispatchers that treats frames as
 - :mod:`repro.serve.scheduler` — :class:`ServeLoop`, the asyncio
   micro-batching scheduler coalescing pending requests into
   :func:`repro.foveation.render_foveated_batch` calls;
+- :mod:`repro.serve.workers` — :class:`RenderWorkerPool`, the process
+  pool that renders pose groups off the event loop (``workers > 0``):
+  stateful workers hold the model and a private view cache, only
+  ``(camera, gazes)`` and frames cross the pipe, frames stay
+  bit-identical to inline rendering;
+- :mod:`repro.serve.sharding` — :class:`ShardRouter` and
+  :class:`HashRing`: N serve shards on a virtual-node consistent-hash
+  ring over ``(camera fp, gaze region)``, disjoint hot cache ranges per
+  shard, ~1/(N+1) key movement on scale-out;
 - :mod:`repro.serve.workload` / :mod:`repro.serve.replay` — seeded
   multi-client trace generation (Zipf pose popularity × gaze scanpaths)
-  and the deterministic replay harness that measures throughput, latency
-  percentiles, hit rate and batch sizes against the naive per-request
-  baseline.
+  and the deterministic replay harness — single-loop and multi-shard —
+  that measures throughput, latency percentiles, hit rate, batch sizes,
+  per-shard load and imbalance against the naive per-request baseline.
 
 See ``src/repro/serve/README.md`` for the request lifecycle and the cache
 key contract; ``repro.cli serve-sim`` and
@@ -35,12 +44,26 @@ from .regions import (
     ring_edges,
     ring_width_deg,
 )
-from .replay import ReplayReport, frames_checksum, replay_naive, replay_trace
+from .replay import (
+    ReplayReport,
+    frames_checksum,
+    replay_naive,
+    replay_trace,
+    replay_trace_sharded,
+)
 from .scheduler import (
     FrameRequest,
     FrameResponse,
     ServeConfig,
     ServeLoop,
+    request_cache_key,
+)
+from .sharding import HashRing, ShardRouter, default_shards
+from .workers import (
+    BrokenProcessPool,
+    RenderWorkerPool,
+    StaleWorkerModelError,
+    default_workers,
 )
 from .workload import (
     ServeTrace,
@@ -52,17 +75,24 @@ from .workload import (
 )
 
 __all__ = [
+    "BrokenProcessPool",
     "FrameCache",
     "FrameRequest",
     "FrameResponse",
     "GazeGridSpec",
     "GazeRegionKey",
+    "HashRing",
+    "RenderWorkerPool",
     "ReplayReport",
     "ServeConfig",
     "ServeLoop",
     "ServeTrace",
+    "ShardRouter",
+    "StaleWorkerModelError",
     "TraceRequest",
     "WorkloadSpec",
+    "default_shards",
+    "default_workers",
     "foveated_model_fingerprint",
     "frames_checksum",
     "gaze_polar",
@@ -74,6 +104,8 @@ __all__ = [
     "region_center",
     "replay_naive",
     "replay_trace",
+    "replay_trace_sharded",
+    "request_cache_key",
     "ring_area_deg2",
     "ring_edges",
     "ring_width_deg",

@@ -1,19 +1,28 @@
-"""Deterministic trace replay: the serve loop vs the naive per-request path.
+"""Deterministic trace replay: serve cluster configurations vs naive serving.
 
 ``replay_trace`` drives a :class:`~repro.serve.workload.ServeTrace`
 through a :class:`~repro.serve.scheduler.ServeLoop` and reduces the
 responses to a :class:`ReplayReport` — throughput, latency percentiles,
 cache hit rate, batch-size histogram, and a frame checksum that makes
-"same trace, same frames" a one-line assertion.  ``replay_naive`` is the
-pre-serve baseline every speedup is measured against: one synchronous
-:func:`repro.foveation.render_foveated` call per request, re-running the
-pose's projection prefix every time, no cache, no batching.
+"same trace, same frames" a one-line assertion.  ``replay_trace_sharded``
+is the multi-shard simulator: the same trace through a
+:class:`~repro.serve.sharding.ShardRouter` of N consistent-hash shards
+(optionally over a shared render-worker pool), with per-shard hit rates,
+max queue depths and the shard-imbalance factor folded into the report.
+``replay_naive`` is the pre-serve baseline every speedup is measured
+against: one synchronous :func:`repro.foveation.render_foveated` call per
+request, re-running the pose's projection prefix every time, no cache, no
+batching.
 
 Replays are deterministic: the workload is seed-generated, requests are
 submitted in time order, and frames are bit-exact functions of (model,
 camera, gaze, config) — so two replays of one trace produce identical
 checksums, and a served checksum differs from the naive one only through
 cache hits (frames rendered for an earlier gaze in the same region).
+Determinism survives worker pools and sharding in the throughput setting
+(``time_scale=0``): every client enqueues before the first batch renders,
+shard routing is a pure key function, and per-key request order — the
+only order cache outcomes depend on — is preserved within each shard.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from ..foveation import FRRenderResult, render_foveated
 from ..foveation.hierarchy import FoveatedModel
 from ..splat.renderer import RenderConfig
 from .scheduler import FrameRequest, FrameResponse, ServeConfig, ServeLoop
+from .sharding import ShardRouter
 from .workload import ServeTrace
 
 
@@ -48,6 +58,7 @@ class ReplayReport:
     batch_histogram: dict[int, int]
     frames_checksum: str
     cache_stats: dict | None = None
+    shard_stats: dict | None = None  # ShardRouter.stats() of a sharded replay
 
     @property
     def mean_batch_size(self) -> float:
@@ -80,6 +91,19 @@ class ReplayReport:
                 f"evictions={s['evictions']} entries={s['entries']} "
                 f"bytes={s['bytes']} (hit rate {self.cache_hit_rate:.0%})"
             )
+        if self.shard_stats is not None:
+            s = self.shard_stats
+            out.append(
+                f"  shards: {s['n_shards']} "
+                f"(imbalance {s['imbalance_factor']:.2f}x)"
+            )
+            for shard in s["shards"]:
+                out.append(
+                    f"    shard {shard['shard']}: {shard['requests']:4d} req  "
+                    f"hit {shard['hit_rate']:.0%}  "
+                    f"max-queue {shard['max_queue_depth']}  "
+                    f"entries {shard['cache_entries']}"
+                )
         return out
 
 
@@ -175,6 +199,86 @@ def replay_trace(
         checksum=frames_checksum(r.result.image for r in responses),
         cache_stats=loop.frame_cache.stats() if loop.frame_cache else None,
     )
+    return responses, report
+
+
+def replay_trace_sharded(
+    fmodel: FoveatedModel,
+    trace: ServeTrace,
+    config: RenderConfig | None = None,
+    serve_config: ServeConfig | None = None,
+    n_shards: int = 2,
+    vnodes: int = 64,
+    time_scale: float = 0.0,
+) -> tuple[list[FrameResponse], ReplayReport]:
+    """Serve a whole trace through a fresh N-shard :class:`ShardRouter`.
+
+    The multi-shard simulator: requests route by consistent-hashed
+    ``(camera fp, gaze region)`` onto ``n_shards`` serve loops — sharing
+    one render-worker pool when ``serve_config.workers > 0`` — and the
+    report carries per-shard hit rates, max queue depths and the
+    shard-imbalance factor alongside the usual aggregate metrics.  The
+    aggregate batch histogram and hit rate are summed across shards;
+    because routing granularity equals cache-key granularity, an
+    eviction-free trace's hit pattern (and frame checksum) matches the
+    single-loop replay exactly, for any shard count.
+    """
+    if time_scale < 0:
+        raise ValueError("time_scale must be non-negative")
+
+    async def _run() -> tuple[ShardRouter, list[FrameResponse]]:
+        async with ShardRouter(
+            fmodel,
+            config=config,
+            serve_config=serve_config,
+            n_shards=n_shards,
+            vnodes=vnodes,
+        ) as router:
+            aio = asyncio.get_running_loop()
+            t0 = aio.time()
+
+            async def client(request) -> FrameResponse:
+                if time_scale > 0:
+                    delay = request.time_s * time_scale - (aio.time() - t0)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                return await router.submit(
+                    FrameRequest(
+                        client_id=request.client_id,
+                        camera=trace.camera_of(request),
+                        gaze=request.gaze,
+                    )
+                )
+
+            tasks = [asyncio.create_task(client(r)) for r in trace.requests]
+            responses = list(await asyncio.gather(*tasks))
+            return router, responses
+
+    t_start = time.perf_counter()
+    router, responses = asyncio.run(_run())
+    wall_s = time.perf_counter() - t_start
+
+    histogram: dict[int, int] = {}
+    for shard in router.shards:
+        for size in shard.batch_sizes:
+            histogram[size] = histogram.get(size, 0) + 1
+    hits = sum(1 for r in responses if r.cache_hit)
+    workers = router.serve_config.workers
+    report = _latency_report(
+        name=(
+            f"serve-sharded ({n_shards} shards, "
+            f"{workers} worker{'s' if workers != 1 else ''})"
+            if workers
+            else f"serve-sharded ({n_shards} shards, inline)"
+        ),
+        latencies_s=[r.latency_s for r in responses],
+        wall_s=wall_s,
+        hit_rate=hits / len(responses) if responses else 0.0,
+        batch_histogram=histogram,
+        checksum=frames_checksum(r.result.image for r in responses),
+        cache_stats=None,
+    )
+    report.shard_stats = router.stats()
     return responses, report
 
 

@@ -24,10 +24,15 @@ returns a frame previously rendered for the same (model, pose, gaze
 region, config) key — never across model mutations, backends, or poses.
 
 Per-request latency, batch sizes and cache counters are recorded on the
-loop for the replay harness and benchmarks.  Rendering runs inline on the
-event loop (the simulation measures scheduling and cache policy, not OS
-thread handoff) — ``submit`` callers therefore observe batching latency
-exactly as a single-threaded server would.
+loop for the replay harness and benchmarks.  With ``workers=0`` (the
+default) rendering runs inline on the event loop — the simulation
+measures scheduling and cache policy, not OS thread handoff.  With
+``workers>0`` each pose group is dispatched to a
+:class:`~repro.serve.workers.RenderWorkerPool` process via
+``run_in_executor``: ``submit()`` latency decouples from render time
+(hits are served and new misses queue while renders are in flight) and
+concurrent pose groups render on distinct cores, with frames still
+bit-identical to the inline path.
 """
 
 from __future__ import annotations
@@ -42,15 +47,55 @@ from ..foveation.hierarchy import FoveatedModel
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig, ViewCache
 from .regions import FrameCache, GazeGridSpec
+from .workers import RenderWorkerPool
 
 
 @dataclasses.dataclass(frozen=True)
 class FrameRequest:
-    """One client's ask for a foveated frame at a pose and gaze."""
+    """One client's ask for a foveated frame at a pose and gaze.
+
+    A request is a single submission's value object: its cache key (model,
+    camera and gaze-region fingerprints) is computed once on first use —
+    by the shard router or by ``ServeLoop.submit`` — and memoized on the
+    instance, so routing and cache lookup never hash the model twice for
+    one request.  Build a fresh ``FrameRequest`` per submission; re-using
+    an object across an in-place model mutation would reuse its memoized
+    key.
+    """
 
     client_id: int
     camera: Camera
     gaze: tuple[float, float] | None = None
+
+
+def request_cache_key(
+    keyer: FrameCache,
+    fmodel: FoveatedModel,
+    request: FrameRequest,
+    config: RenderConfig,
+) -> tuple:
+    """The request's frame-cache key, memoized on the request object.
+
+    The key is ``(model fp, camera fp, gaze region, config fp)`` — the
+    model fingerprint is the expensive part (one BLAKE2 pass over the
+    parameter bytes), and before memoization the shard router and the
+    shard's own ``submit`` each recomputed it.  The memo is validated
+    against the exact ``(fmodel, config, grid spec)`` it was computed for
+    (object identity for the mutable model/config, equality for the frozen
+    spec), so a request keyed by a router is only ever reused by a shard
+    serving the same model and configuration.
+    """
+    memo = request.__dict__.get("_key_memo")
+    if (
+        memo is not None
+        and memo[0] is fmodel
+        and memo[1] is config
+        and memo[2] == keyer.spec
+    ):
+        return memo[3]
+    key = keyer.key(fmodel, request.camera, request.gaze, config)
+    object.__setattr__(request, "_key_memo", (fmodel, config, keyer.spec, key))
+    return key
 
 
 @dataclasses.dataclass(repr=False)
@@ -93,6 +138,13 @@ class ServeConfig:
     concatenated span scan — highest throughput, but concatenation perturbs
     last-bit rounding across frames, so frames only match per-request
     renders to the backend-equivalence tolerance (1e-10).
+
+    ``workers`` moves miss rendering off the event loop: ``0`` (default)
+    renders inline, ``N > 0`` starts a ``RenderWorkerPool`` of N processes
+    and dispatches each pose group to a worker — same frames (workers run
+    the identical dispatch, bit-identical in ``exact_frames`` mode), but
+    ``submit()`` stays responsive during renders and pose groups
+    parallelize across cores.
     """
 
     batch_budget: int = 8
@@ -100,12 +152,15 @@ class ServeConfig:
     cache_max_bytes: int | None = 64 << 20
     grid: GazeGridSpec = GazeGridSpec()
     exact_frames: bool = True
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_budget < 1:
             raise ValueError("batch_budget must be at least 1")
         if self.batch_deadline_s < 0:
             raise ValueError("batch_deadline_s must be non-negative")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
 
 @dataclasses.dataclass
@@ -125,9 +180,13 @@ class ServeLoop:
             response = await loop.submit(FrameRequest(0, camera, gaze))
 
     ``close()`` drains the queue before returning, so every submitted
-    request is answered.  One ``ViewCache`` (shared or private) memoizes
+    request is answered — render failures (including a crashed worker
+    pool) resolve their requests' futures with the exception rather than
+    hanging the drain.  One ``ViewCache`` (shared or private) memoizes
     pose prefixes across batches; the ``FrameCache`` holds whole frames per
-    gaze region.
+    gaze region.  ``worker_pool`` lets several loops (the shard router's
+    shards) share one pool; a loop only owns — creates and closes — a pool
+    it built itself from ``serve_config.workers``.
     """
 
     def __init__(
@@ -137,6 +196,7 @@ class ServeLoop:
         serve_config: ServeConfig | None = None,
         frame_cache: FrameCache | None = None,
         view_cache: ViewCache | None = None,
+        worker_pool: RenderWorkerPool | None = None,
     ) -> None:
         self.fmodel = fmodel
         self.render_config = config or RenderConfig()
@@ -157,8 +217,11 @@ class ServeLoop:
         self.latencies_s: list[float] = []
         self.batch_sizes: list[int] = []
         self.requests_served = 0
+        self.max_queue_depth = 0
         self._queue: asyncio.Queue[_Pending] | None = None
         self._batcher: asyncio.Task | None = None
+        self._pool = worker_pool
+        self._owns_pool = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -166,14 +229,47 @@ class ServeLoop:
     async def start(self) -> None:
         if self._batcher is not None:
             raise RuntimeError("ServeLoop already started")
+        if self._pool is None and self.serve_config.workers > 0:
+            self._pool = RenderWorkerPool(
+                self.fmodel,
+                self.render_config,
+                workers=self.serve_config.workers,
+                exact_frames=self.serve_config.exact_frames,
+            )
+            self._owns_pool = True
         self._queue = asyncio.Queue()
         self._batcher = asyncio.create_task(self._run())
 
     async def close(self) -> None:
-        """Drain every queued request, then stop the batcher."""
+        """Drain every queued request, then stop the batcher and its pool.
+
+        Render errors never stall the drain: failed renders resolve their
+        futures with the exception inside the batcher, and if the batcher
+        task itself dies (a scheduler bug — nothing would ever drain the
+        queue) the remaining queued requests are failed here with the
+        batcher's exception instead of deadlocking ``close()``.
+        """
         if self._batcher is None:
             return
-        await self._queue.join()
+        drain = asyncio.ensure_future(self._queue.join())
+        await asyncio.wait(
+            {drain, self._batcher}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if self._batcher.done() and not drain.done():
+            drain.cancel()
+            if self._batcher.cancelled():
+                exc: BaseException = RuntimeError(
+                    "ServeLoop batcher was cancelled while requests were queued"
+                )
+            else:
+                exc = self._batcher.exception() or RuntimeError(
+                    "ServeLoop batcher exited while requests were queued"
+                )
+            while not self._queue.empty():
+                pending = self._queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+                self._queue.task_done()
         self._batcher.cancel()
         try:
             await self._batcher
@@ -181,6 +277,10 @@ class ServeLoop:
             pass
         self._batcher = None
         self._queue = None
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._owns_pool = False
 
     async def __aenter__(self) -> "ServeLoop":
         await self.start()
@@ -193,8 +293,8 @@ class ServeLoop:
     # Request path
     # ------------------------------------------------------------------
     def _request_key(self, request: FrameRequest) -> tuple:
-        return self._keyer.key(
-            self.fmodel, request.camera, request.gaze, self.render_config
+        return request_cache_key(
+            self._keyer, self.fmodel, request, self.render_config
         )
 
     async def submit(self, request: FrameRequest) -> FrameResponse:
@@ -223,6 +323,9 @@ class ServeLoop:
                 )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._queue.put_nowait(_Pending(request, key, future, t0))
+        depth = self._queue.qsize()
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
         return await future
 
     # ------------------------------------------------------------------
@@ -260,7 +363,7 @@ class ServeLoop:
         while True:
             batch = await self._collect()
             try:
-                self._render_batch(batch)
+                await self._render_batch(batch)
             except Exception as exc:  # pragma: no cover - backstop only
                 # _render_batch scopes render errors to their pose group;
                 # anything escaping here is a scheduler bug, but clients
@@ -272,7 +375,55 @@ class ServeLoop:
                 for _ in batch:
                     self._queue.task_done()
 
-    def _render_batch(self, batch: Sequence[_Pending]) -> None:
+    def _dispatch_inline(
+        self, groups: list[list[_Pending]]
+    ) -> list[list[FRRenderResult] | BaseException]:
+        """Render pose groups on the event loop (the ``workers=0`` path)."""
+        outcomes: list[list[FRRenderResult] | BaseException] = []
+        for group in groups:
+            try:
+                outcomes.append(
+                    render_foveated_batch(
+                        self.fmodel,
+                        group[0].request.camera,
+                        gazes=[p.request.gaze for p in group],
+                        config=self.render_config,
+                        batch_size=1 if self.serve_config.exact_frames else None,
+                        cache=self.view_cache,
+                    )
+                )
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    async def _dispatch_pool(
+        self, groups: list[list[_Pending]]
+    ) -> list[list[FRRenderResult] | BaseException]:
+        """Render pose groups concurrently on the worker pool.
+
+        Every group's render is dispatched at once — distinct poses land on
+        distinct worker processes — and the event loop stays free while
+        they run, so hits keep being served and new misses keep queueing.
+        A group whose worker failed (stale model, crashed process) yields
+        its exception in place of results; other groups are unaffected.
+        The caller's model fingerprint rides along (it is the key's first
+        element, already computed) so a worker whose snapshot went stale
+        fails the render instead of serving old parameters.
+        """
+        assert self._pool is not None
+        return await asyncio.gather(
+            *(
+                self._pool.render(
+                    group[0].request.camera,
+                    [p.request.gaze for p in group],
+                    model_fp=group[0].key[0],
+                )
+                for group in groups
+            ),
+            return_exceptions=True,
+        )
+
+    async def _render_batch(self, batch: Sequence[_Pending]) -> None:
         """Render a coalesced batch and resolve every pending future.
 
         Requests are grouped twice: by cache key — the first request of
@@ -284,7 +435,9 @@ class ServeLoop:
         the call is chunked to batch-of-one (bit-identical to per-request
         renders — the segmented scans re-centre a global cumsum, so
         multi-frame concatenation perturbs last-bit rounding); otherwise
-        the group rides one concatenated scan.
+        the group rides one concatenated scan.  With a worker pool the
+        pose groups render concurrently in worker processes; inline they
+        run sequentially on the event loop.
         """
         to_render: list[_Pending] = []
         followers: dict[tuple, list[_Pending]] = {}
@@ -313,28 +466,27 @@ class ServeLoop:
         pose_groups: dict[tuple, list[_Pending]] = {}
         for pending in to_render:
             pose_groups.setdefault(pending.key[1], []).append(pending)
+        groups = list(pose_groups.values())
+        if self._pool is not None and groups:
+            outcomes = await self._dispatch_pool(groups)
+        else:
+            outcomes = self._dispatch_inline(groups)
+
         rendered: list[tuple[_Pending, FRRenderResult]] = []
-        for group in pose_groups.values():
-            try:
-                results = render_foveated_batch(
-                    self.fmodel,
-                    group[0].request.camera,
-                    gazes=[p.request.gaze for p in group],
-                    config=self.render_config,
-                    batch_size=1 if self.serve_config.exact_frames else None,
-                    cache=self.view_cache,
-                )
-            except Exception as exc:
+        for group, outcome in zip(groups, outcomes):
+            if isinstance(outcome, BaseException):
                 # A failing pose fails only its own group (and the
                 # followers waiting on those keys); other poses in the
                 # batch still render and hits were already served.
                 for pending in group:
-                    pending.future.set_exception(exc)
+                    if not pending.future.done():
+                        pending.future.set_exception(outcome)
                     for follower in followers[pending.key]:
-                        follower.future.set_exception(exc)
+                        if not follower.future.done():
+                            follower.future.set_exception(outcome)
                 continue
             self.batch_sizes.append(len(group))
-            rendered.extend(zip(group, results))
+            rendered.extend(zip(group, outcome))
 
         now = time.perf_counter()
         for pending, result in rendered:

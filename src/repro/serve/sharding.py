@@ -1,0 +1,270 @@
+"""Consistent-hash sharded serve front-end: N loops, disjoint hot key ranges.
+
+One :class:`~repro.serve.scheduler.ServeLoop` is one core's worth of serve
+capacity with one in-process cache.  The :class:`ShardRouter` scales that
+out: it runs N serve shards and routes every request by consistent-hashing
+its ``(camera fingerprint, gaze region)`` — exactly the granularity at
+which cached frames are shareable, since the frame-cache key is
+``(model fp, camera fp, region, config fp)`` and model/config are fixed
+per cluster.  Consequences:
+
+- **every request that could share a cached frame lands on the same
+  shard**, so sharding never costs hit rate: for an eviction-free trace
+  the hit/miss outcome of each request — and therefore the served frame
+  bytes — is *identical* to a single loop's (pinned in
+  ``tests/test_serve_sharding.py``);
+- each shard's ``FrameCache`` / ``ViewCache`` stays hot on a **disjoint
+  key range** — shards never duplicate entries, so N shards hold N caches'
+  worth of distinct frames;
+- shard assignment is a pure function of the key on a **virtual-node hash
+  ring** (:class:`HashRing`): deterministic across processes and
+  sessions, near-uniform in expectation, and *stable under resizing* —
+  growing N → N+1 shards remaps only ~1/(N+1) of the keys instead of
+  reshuffling everything, which is what keeps warm caches warm through a
+  scale-out (and what the version-vector coherence work will lean on when
+  shards start exchanging frames).
+
+With ``serve_config.workers > 0`` the router starts **one shared**
+:class:`~repro.serve.workers.RenderWorkerPool` and hands it to every
+shard: shards' pose groups from concurrent batches interleave on the same
+worker processes, so render parallelism is bounded by the pool size, not
+the shard count, and N shards do not cost N pools of processes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+
+from ..foveation.hierarchy import FoveatedModel
+from ..splat.cachekey import fingerprint_bytes
+from ..splat.renderer import RenderConfig
+from .regions import FrameCache
+from .scheduler import (
+    FrameRequest,
+    FrameResponse,
+    ServeConfig,
+    ServeLoop,
+    request_cache_key,
+)
+from .workers import RenderWorkerPool
+
+__all__ = ["HashRing", "ShardRouter", "default_shards"]
+
+SHARDS_ENV = "REPRO_SERVE_SHARDS"
+
+
+def default_shards() -> int:
+    """The ``REPRO_SERVE_SHARDS`` default (1 = a single un-sharded loop)."""
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        shards = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{SHARDS_ENV} must be an integer, got {raw!r}") from exc
+    if shards < 1:
+        raise ValueError(f"{SHARDS_ENV} must be at least 1, got {shards}")
+    return shards
+
+
+def _ring_hash(data: bytes) -> int:
+    """64-bit ring position of ``data`` (keyed BLAKE2 — stable everywhere)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over ``n_shards`` with virtual nodes.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring (hash of
+    ``shard:vnode``); a key routes to the owner of the first ring point at
+    or after the key's own hash (wrapping).  Virtual nodes smooth the
+    per-shard load toward uniform (the imbalance of the largest arc decays
+    like ``1/sqrt(vnodes)``), and because every shard's points are a pure
+    function of its index, adding shard N+1 only claims the arcs its own
+    new points cut — in expectation a ``1/(N+1)`` fraction of the key
+    space — leaving every other key's owner untouched.
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = 64) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for vnode in range(vnodes):
+                points.append(
+                    (_ring_hash(f"shard:{shard}:vnode:{vnode}".encode()), shard)
+                )
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route_bytes(self, data: bytes) -> int:
+        """The shard owning ``data``'s ring position."""
+        index = bisect.bisect_right(self._hashes, _ring_hash(data))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+    def route(self, key) -> int:
+        """The shard owning a structured key (canonically encoded first)."""
+        return self.route_bytes(fingerprint_bytes(key))
+
+
+class ShardRouter:
+    """Runs N serve shards and routes requests onto disjoint key ranges.
+
+    Mirrors the :class:`ServeLoop` surface — an async context manager with
+    ``submit()`` — so replay harnesses and clients can drive a sharded
+    cluster exactly like a single loop::
+
+        async with ShardRouter(fmodel, n_shards=4, serve_config=cfg) as router:
+            response = await router.submit(FrameRequest(0, camera, gaze))
+
+    ``submit`` computes the request's cache key once (memoized on the
+    request), routes on its ``(camera fp, region)`` elements, and
+    delegates to the owning shard — which reuses the memoized key instead
+    of re-hashing the model.  Per-shard request counters and
+    :meth:`stats` (hit rates, queue depths, the imbalance factor) feed the
+    multi-shard replay report.
+    """
+
+    def __init__(
+        self,
+        fmodel: FoveatedModel,
+        config: RenderConfig | None = None,
+        serve_config: ServeConfig | None = None,
+        n_shards: int = 2,
+        vnodes: int = 64,
+        worker_pool: RenderWorkerPool | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.fmodel = fmodel
+        self.render_config = config or RenderConfig()
+        self.serve_config = serve_config or ServeConfig()
+        self.ring = HashRing(n_shards, vnodes=vnodes)
+        self._pool = worker_pool
+        self._owns_pool = False
+        if self._pool is None and self.serve_config.workers > 0:
+            self._pool = RenderWorkerPool(
+                fmodel,
+                self.render_config,
+                workers=self.serve_config.workers,
+                exact_frames=self.serve_config.exact_frames,
+            )
+            self._owns_pool = True
+        self.shards = [
+            ServeLoop(
+                fmodel,
+                config=self.render_config,
+                serve_config=self.serve_config,
+                worker_pool=self._pool,
+            )
+            for _ in range(n_shards)
+        ]
+        # Key computation only (cache entries live on the shards); shares
+        # the grid spec so router keys equal shard keys.
+        self._keyer = FrameCache(spec=self.serve_config.grid)
+        self.shard_requests = [0] * n_shards
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        for shard in self.shards:
+            await shard.start()
+
+    async def close(self) -> None:
+        """Drain and stop every shard, then the shared worker pool."""
+        for shard in self.shards:
+            await shard.close()
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._owns_pool = False
+
+    async def __aenter__(self) -> "ShardRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def shard_of(self, request: FrameRequest) -> int:
+        """The shard owning this request's ``(camera fp, gaze region)``.
+
+        Keying the request here memoizes its fingerprints, so the owning
+        shard's ``submit`` reuses them for the cache lookup — one model
+        hash per request, shared by routing and caching.
+        """
+        key = request_cache_key(
+            self._keyer, self.fmodel, request, self.render_config
+        )
+        return self.ring.route((key[1], key[2]))
+
+    async def submit(self, request: FrameRequest) -> FrameResponse:
+        shard = self.shard_of(request)
+        self.shard_requests[shard] += 1
+        return await self.shards[shard].submit(request)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def requests_routed(self) -> int:
+        return sum(self.shard_requests)
+
+    @property
+    def imbalance_factor(self) -> float:
+        """Hottest shard's request share over the uniform share (1.0 = even).
+
+        ``max(shard requests) / mean(shard requests)`` — the standard
+        consistent-hashing load metric: 1.0 is a perfectly even split, N
+        is everything on one of N shards.
+        """
+        total = self.requests_routed
+        if total == 0:
+            return 1.0
+        mean = total / len(self.shards)
+        return max(self.shard_requests) / mean
+
+    def stats(self) -> dict:
+        """Per-shard serving counters plus the cluster imbalance factor."""
+        per_shard = []
+        for index, (shard, routed) in enumerate(
+            zip(self.shards, self.shard_requests)
+        ):
+            per_shard.append(
+                {
+                    "shard": index,
+                    "requests": routed,
+                    "served": shard.requests_served,
+                    "hit_rate": (
+                        shard.frame_cache.hit_rate if shard.frame_cache else 0.0
+                    ),
+                    "max_queue_depth": shard.max_queue_depth,
+                    "cache_entries": (
+                        len(shard.frame_cache) if shard.frame_cache else 0
+                    ),
+                }
+            )
+        return {
+            "n_shards": len(self.shards),
+            "imbalance_factor": self.imbalance_factor,
+            "shards": per_shard,
+        }

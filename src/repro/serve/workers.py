@@ -1,0 +1,213 @@
+"""Off-loop render workers: a process pool behind the serve scheduler.
+
+The PR 5 :class:`~repro.serve.scheduler.ServeLoop` rendered misses inline
+on the event loop — every miss blocked ``submit()`` for the full render
+time and the whole tier was pinned to one core.  This module moves the
+render hot path into a ``concurrent.futures.ProcessPoolExecutor`` whose
+workers are *stateful*:
+
+- each worker process holds the foveated model, its derived per-level
+  tables, and a private :class:`~repro.splat.renderer.ViewCache` of pose
+  prefixes, all installed **once** by the pool initializer — per render
+  call only ``(camera, gazes)`` tuples travel to the worker and rendered
+  frames travel back, never model parameters;
+- the backend's persistent span workspace (segment structure, Gaussian
+  exp tables) warms up inside each worker and stays resident across
+  batches, exactly as it does for the inline path;
+- renders stay **bit-identical** to the inline path: workers run the same
+  :func:`repro.foveation.render_foveated_batch` with the same
+  batch-of-one chunking discipline (``exact_frames``), and frames are
+  pure functions of ``(model, camera, gaze, config)`` — crossing a
+  process boundary changes nothing about the pixels.
+
+Workers snapshot the model when the pool starts its processes.  The
+scheduler's fingerprint-keyed caches detect in-place model mutation, but a
+pool cannot re-snapshot — so every render call carries the caller's model
+fingerprint and a worker whose snapshot disagrees raises
+:class:`StaleWorkerModelError` instead of silently rendering old
+parameters.  Mutating a model mid-serve therefore *fails loudly* under a
+worker pool (restart the pool — or serve with ``workers=0`` — to pick up
+the mutation).
+
+The start method defaults to ``fork`` where available (workers inherit
+the model without pickling it; the pool forks lazily on first render) and
+falls back to ``spawn``; ``REPRO_SERVE_MP_START`` overrides.
+``REPRO_SERVE_WORKERS`` sets the default worker count for the CLI and
+benchmarks (0 = render inline on the event loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..foveation.hierarchy import FoveatedModel
+from ..splat.camera import Camera
+from ..splat.renderer import RenderConfig
+
+__all__ = [
+    "BrokenProcessPool",
+    "RenderWorkerPool",
+    "StaleWorkerModelError",
+    "default_workers",
+]
+
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+MP_START_ENV = "REPRO_SERVE_MP_START"
+
+
+class StaleWorkerModelError(RuntimeError):
+    """A worker's model snapshot no longer matches the caller's fingerprint.
+
+    Raised by the worker (and re-raised to the awaiting ``submit()``
+    callers) when the serve-side model mutated after the pool's processes
+    snapshotted it.  The error is the contract: a pool never serves frames
+    of a superseded model as if they were fresh.
+    """
+
+
+def default_workers() -> int:
+    """The ``REPRO_SERVE_WORKERS`` default (0 = inline rendering)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from exc
+    if workers < 0:
+        raise ValueError(f"{WORKERS_ENV} must be non-negative, got {workers}")
+    return workers
+
+
+def _mp_context(start: str | None = None):
+    """The multiprocessing context the pool forks/spawns workers from."""
+    start = start or os.environ.get(MP_START_ENV) or None
+    if start is None:
+        methods = multiprocessing.get_all_start_methods()
+        start = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start)
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  Module-level state + top-level functions: the
+# executor pickles callables by qualified name, and the initializer
+# installs everything a render needs exactly once per worker process.
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict | None = None
+
+
+def _worker_init(fmodel: FoveatedModel, config: RenderConfig, exact_frames: bool) -> None:
+    from ..splat.renderer import ViewCache
+    from .regions import foveated_model_fingerprint
+
+    global _WORKER_STATE
+    _WORKER_STATE = {
+        "fmodel": fmodel,
+        "config": config,
+        "exact_frames": exact_frames,
+        "cache": ViewCache(maxsize=64),
+        "model_fp": foveated_model_fingerprint(fmodel),
+    }
+
+
+def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None):
+    if _WORKER_STATE is None:  # pragma: no cover - initializer always runs
+        raise RuntimeError("render worker used before initialization")
+    if model_fp is not None and model_fp != _WORKER_STATE["model_fp"]:
+        raise StaleWorkerModelError(
+            "serve model mutated after the worker pool snapshotted it; "
+            "restart the pool (or serve inline with workers=0) to pick up "
+            "the new parameters"
+        )
+    from ..foveation import render_foveated_batch
+
+    return render_foveated_batch(
+        _WORKER_STATE["fmodel"],
+        camera,
+        gazes=list(gazes),
+        config=_WORKER_STATE["config"],
+        batch_size=1 if _WORKER_STATE["exact_frames"] else None,
+        cache=_WORKER_STATE["cache"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Serve-loop side.
+# ----------------------------------------------------------------------
+class RenderWorkerPool:
+    """A process pool rendering pose-grouped gaze batches off the event loop.
+
+    One pool serves one ``(fmodel, config, exact_frames)`` triple — the
+    :class:`~repro.serve.scheduler.ServeLoop` that owns it (or the
+    :class:`~repro.serve.sharding.ShardRouter` sharing it across shards)
+    dispatches each pose group via :meth:`render`, which awaits the
+    executor future without blocking the loop, so ``submit()`` latency
+    decouples from render time and concurrent pose groups land on
+    distinct cores.
+    """
+
+    def __init__(
+        self,
+        fmodel: FoveatedModel,
+        config: RenderConfig | None = None,
+        workers: int = 1,
+        exact_frames: bool = True,
+        mp_start: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.fmodel = fmodel
+        self.render_config = config or RenderConfig()
+        self.workers = workers
+        self.exact_frames = exact_frames
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(mp_start),
+            initializer=_worker_init,
+            initargs=(self.fmodel, self.render_config, exact_frames),
+        )
+        self.renders_dispatched = 0
+
+    async def render(self, camera: Camera, gazes, model_fp: tuple | None = None):
+        """Render one pose group ``(camera, gazes)`` in a worker process.
+
+        Returns the worker's ``list[FRRenderResult]`` (one per gaze, in
+        order).  Raises :class:`StaleWorkerModelError` if ``model_fp``
+        (the caller's fingerprint of the model it *thinks* it is serving)
+        disagrees with the worker's snapshot, and
+        :class:`BrokenProcessPool` if the pool's processes died.
+        """
+        if self._executor is None:
+            raise RuntimeError("RenderWorkerPool is closed")
+        self.renders_dispatched += 1
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, _worker_render, camera, tuple(gazes), model_fp
+        )
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (spawned lazily on first render)."""
+        if self._executor is None or self._executor._processes is None:
+            return []
+        return [p.pid for p in self._executor._processes.values() if p.pid]
+
+    def close(self) -> None:
+        """Shut the pool down, joining (or reaping) every worker process.
+
+        Safe to call on a broken pool and idempotent; pending render
+        futures are cancelled, so a closing serve loop never hangs on a
+        worker that will not answer.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "RenderWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

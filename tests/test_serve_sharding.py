@@ -1,0 +1,271 @@
+"""HashRing + ShardRouter: stability, disjointness, determinism, memoization."""
+
+import asyncio
+import signal
+
+import numpy as np
+import pytest
+
+from repro.foveation import uniform_foveated_model
+from repro.harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+from repro.scenes import trace_cameras
+from repro.serve import (
+    FrameRequest,
+    GazeRegionKey,
+    HashRing,
+    ServeConfig,
+    ShardRouter,
+    WorkloadSpec,
+    default_shards,
+    generate_serve_trace,
+    replay_trace,
+    replay_trace_sharded,
+)
+from repro.splat import random_model
+from repro.splat.cachekey import camera_fingerprint, fingerprint_bytes
+
+WIDTH, HEIGHT = 64, 48
+TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def multiprocess_timeout():
+    """Fail fast if a sharded cluster (possibly with a pool) hangs."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"sharding test exceeded {TIMEOUT_S}s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def fmodel():
+    return uniform_foveated_model(
+        random_model(80, np.random.default_rng(3)),
+        EVAL_REGION_LAYOUT,
+        EVAL_LEVEL_FRACTIONS,
+    )
+
+
+@pytest.fixture(scope="module")
+def cameras():
+    _, evals = trace_cameras(
+        "kitchen", n_train=4, n_eval=4, width=WIDTH, height=HEIGHT
+    )
+    return evals
+
+
+@pytest.fixture(scope="module")
+def trace(cameras):
+    return generate_serve_trace(
+        cameras,
+        WorkloadSpec(n_clients=4, frames_per_client=10, zipf_s=1.1, seed=0),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFingerprintBytes:
+    def test_deterministic_and_injective_on_key_shapes(self, cameras):
+        cam_fp = camera_fingerprint(cameras[0])
+        region = GazeRegionKey(ring=2, sector=5)
+        a = fingerprint_bytes((cam_fp, region))
+        assert a == fingerprint_bytes((cam_fp, region))
+        assert a != fingerprint_bytes((cam_fp, GazeRegionKey(ring=2, sector=6)))
+        assert a != fingerprint_bytes((camera_fingerprint(cameras[1]), region))
+        # Framing: concatenation ambiguities must not collide.
+        assert fingerprint_bytes((("ab",), ("c",))) != fingerprint_bytes(
+            (("a",), ("bc",))
+        )
+        assert fingerprint_bytes(1) != fingerprint_bytes(1.0)
+        assert fingerprint_bytes(True) != fingerprint_bytes(1)
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(TypeError, match="canonically encode"):
+            fingerprint_bytes(object())
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        keys = [f"key-{i}".encode() for i in range(500)]
+        a, b = HashRing(4), HashRing(4)
+        assert [a.route_bytes(k) for k in keys] == [b.route_bytes(k) for k in keys]
+
+    def test_all_shards_receive_load(self):
+        ring = HashRing(4)
+        owners = {ring.route_bytes(f"key-{i}".encode()) for i in range(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(4, vnodes=128)
+        counts = np.zeros(4, dtype=int)
+        for i in range(4000):
+            counts[ring.route_bytes(f"key-{i}".encode())] += 1
+        mean = counts.mean()
+        assert counts.max() / mean < 1.6 and counts.min() / mean > 0.5
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_scale_out_moves_about_one_over_n_plus_one(self, n):
+        # Consistent hashing's defining property: growing N -> N+1 shards
+        # remaps only ~1/(N+1) of the keys, and every remapped key lands
+        # on the *new* shard (existing shards' ring points are untouched).
+        keys = [f"key-{i}".encode() for i in range(3000)]
+        before = HashRing(n, vnodes=128)
+        after = HashRing(n + 1, vnodes=128)
+        moved = [
+            (before.route_bytes(k), after.route_bytes(k))
+            for k in keys
+            if before.route_bytes(k) != after.route_bytes(k)
+        ]
+        fraction = len(moved) / len(keys)
+        expected = 1.0 / (n + 1)
+        assert 0.3 * expected < fraction < 2.0 * expected, fraction
+        assert all(new == n for _, new in moved)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            HashRing(0)
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(2, vnodes=0)
+
+
+class TestShardRouter:
+    def test_disjoint_key_ownership(self, fmodel, trace):
+        # Every (camera fp, gaze region) routing key is owned by exactly
+        # one shard: across a whole replay, no two shards ever cached the
+        # same frame key.
+        async def scenario():
+            async with ShardRouter(fmodel, n_shards=3) as router:
+                for request in trace.requests:
+                    await router.submit(
+                        FrameRequest(
+                            client_id=request.client_id,
+                            camera=trace.camera_of(request),
+                            gaze=request.gaze,
+                        )
+                    )
+                return [
+                    set(shard.frame_cache._entries) for shard in router.shards
+                ]
+
+        key_sets = run(scenario())
+        for i in range(len(key_sets)):
+            for j in range(i + 1, len(key_sets)):
+                assert not (key_sets[i] & key_sets[j])
+
+    def test_routing_consistency_and_counters(self, fmodel, cameras):
+        async def scenario():
+            async with ShardRouter(fmodel, n_shards=4) as router:
+                requests = [
+                    FrameRequest(i, cameras[i % 4], (7.0 * i + 3.0, 11.0))
+                    for i in range(12)
+                ]
+                shards = [router.shard_of(r) for r in requests]
+                for request in requests:
+                    await router.submit(request)
+                return router, requests, shards
+
+        router, requests, shards = run(scenario())
+        # shard_of is stable per request and counters reconcile.
+        assert [router.shard_of(r) for r in requests] == shards
+        assert router.requests_routed == len(requests)
+        assert sum(s["served"] for s in router.stats()["shards"]) == len(requests)
+        assert router.imbalance_factor >= 1.0
+
+    def test_model_fingerprint_hashed_once_per_request(
+        self, fmodel, cameras, monkeypatch
+    ):
+        # The request path memoizes fingerprints on the FrameRequest:
+        # routing computes the key, the owning shard's cache lookup reuses
+        # it — one model hash per request, not two.
+        import repro.serve.regions as regions_mod
+
+        calls = {"n": 0}
+        real = regions_mod.foveated_model_fingerprint
+
+        def counting(model):
+            calls["n"] += 1
+            return real(model)
+
+        monkeypatch.setattr(regions_mod, "foveated_model_fingerprint", counting)
+
+        async def scenario():
+            async with ShardRouter(fmodel, n_shards=2) as router:
+                for i in range(6):
+                    await router.submit(
+                        FrameRequest(i, cameras[i % 2], (9.0 * i + 4.0, 13.0))
+                    )
+
+        run(scenario())
+        assert calls["n"] == 6
+
+    def test_validation_and_env_default(self, fmodel, monkeypatch):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardRouter(fmodel, n_shards=0)
+        monkeypatch.delenv("REPRO_SERVE_SHARDS", raising=False)
+        assert default_shards() == 1
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "4")
+        assert default_shards() == 4
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "0")
+        with pytest.raises(ValueError, match="at least 1"):
+            default_shards()
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "many")
+        with pytest.raises(ValueError, match="REPRO_SERVE_SHARDS"):
+            default_shards()
+
+
+class TestShardedReplay:
+    def test_sharded_replay_is_deterministic(self, fmodel, trace):
+        _, a = replay_trace_sharded(fmodel, trace, n_shards=3)
+        _, b = replay_trace_sharded(fmodel, trace, n_shards=3)
+        assert a.frames_checksum == b.frames_checksum
+        assert a.cache_hit_rate == b.cache_hit_rate
+        assert a.batch_histogram == b.batch_histogram
+        assert a.shard_stats == b.shard_stats
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_sharded_frames_match_single_loop(self, fmodel, trace, n_shards):
+        # Routing granularity equals cache-key granularity, so sharding
+        # never changes which request renders vs hits: the served frame
+        # stream (and the aggregate hit rate) is identical to one loop's,
+        # for any shard count, on an eviction-free trace.
+        _, single = replay_trace(fmodel, trace)
+        _, sharded = replay_trace_sharded(fmodel, trace, n_shards=n_shards)
+        assert sharded.frames_checksum == single.frames_checksum
+        assert sharded.cache_hit_rate == single.cache_hit_rate
+        assert sharded.shard_stats["n_shards"] == n_shards
+
+    def test_sharded_with_workers_matches_inline_frames(self, fmodel, trace):
+        # The full scale-out stack — shards routing onto a shared worker
+        # pool — still serves the exact frame stream of one inline loop.
+        _, single = replay_trace(fmodel, trace)
+        _, sharded = replay_trace_sharded(
+            fmodel,
+            trace,
+            serve_config=ServeConfig(workers=2),
+            n_shards=2,
+        )
+        assert sharded.frames_checksum == single.frames_checksum
+        assert sharded.cache_hit_rate == single.cache_hit_rate
+
+    def test_report_lines_include_shard_columns(self, fmodel, trace):
+        _, report = replay_trace_sharded(fmodel, trace, n_shards=2)
+        text = "\n".join(report.lines())
+        assert "imbalance" in text
+        assert "shard 0" in text and "shard 1" in text
+        assert "max-queue" in text
+
+    def test_time_scale_validation(self, fmodel, trace):
+        with pytest.raises(ValueError, match="time_scale"):
+            replay_trace_sharded(fmodel, trace, time_scale=-1.0)
