@@ -184,14 +184,17 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     from .harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
     from .scenes import trace_cameras
     from .serve import (
+        PredictorConfig,
         ServeConfig,
         WorkloadSpec,
         default_shards,
         default_workers,
         generate_serve_trace,
+        oracle_problem_from_trace,
         replay_naive,
         replay_trace,
         replay_trace_sharded,
+        schedule_gap,
     )
 
     setup = _setup(args)
@@ -207,6 +210,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         n_clients=args.clients,
         frames_per_client=args.frames,
         zipf_s=args.zipf,
+        refresh_hz=args.refresh_hz,
         seed=args.seed,
     )
     trace = generate_serve_trace(poses, spec)
@@ -215,12 +219,22 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     if workers < 0 or shards < 1:
         print("error: --workers must be >= 0 and --shards >= 1", file=sys.stderr)
         return 2
+    if args.prefetch < 0 or args.time_scale < 0:
+        print(
+            "error: --prefetch and --time-scale must be non-negative",
+            file=sys.stderr,
+        )
+        return 2
     serve_config = ServeConfig(
         batch_budget=args.batch_budget,
         cache_max_bytes=(
             None if args.cache_mb <= 0 else int(args.cache_mb * (1 << 20))
         ),
         workers=workers,
+        refresh_hz=args.refresh_hz,
+        prefetch=(
+            PredictorConfig(horizon=args.prefetch) if args.prefetch > 0 else None
+        ),
     )
 
     print(
@@ -233,11 +247,13 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     _, naive_report = replay_naive(fmodel, trace)
     if shards > 1:
         _, serve_report = replay_trace_sharded(
-            fmodel, trace, serve_config=serve_config, n_shards=shards
+            fmodel, trace, serve_config=serve_config, n_shards=shards,
+            time_scale=args.time_scale,
         )
     else:
         _, serve_report = replay_trace(
-            fmodel, trace, serve_config=serve_config
+            fmodel, trace, serve_config=serve_config,
+            time_scale=args.time_scale,
         )
     for report in (naive_report, serve_report):
         for line in report.lines():
@@ -252,6 +268,17 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             f", imbalance {serve_report.shard_stats['imbalance_factor']:.2f}x"
         )
     print(summary + ")")
+    if args.refresh_hz is not None:
+        gap = schedule_gap(
+            oracle_problem_from_trace(trace, n_requests=6),
+            batch_budget=args.batch_budget,
+        )
+        print(
+            f"schedule oracle ({gap['n_requests']} requests): optimal "
+            f"{gap['optimal_misses']} misses vs heuristic "
+            f"{gap['heuristic_misses']} (latency gap "
+            f"{gap['latency_gap']:+.1%})"
+        )
     return 0
 
 
@@ -367,6 +394,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None,
         help="consistent-hash serve shards (default: $REPRO_SERVE_SHARDS "
         "or 1 = a single un-sharded loop)",
+    )
+    p_serve.add_argument(
+        "--refresh-hz", type=float, default=None,
+        help="client display refresh rate; sets a 1/refresh_hz frame "
+        "deadline per request and enables deadline accounting "
+        "(default: best-effort, no deadlines)",
+    )
+    p_serve.add_argument(
+        "--prefetch", type=int, default=0, metavar="HORIZON",
+        help="speculative gaze-prefetch horizon in frames "
+        "(0 = disabled; predictions fill the frame cache at low priority)",
+    )
+    p_serve.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="replay pacing: stretch trace timestamps into real waits "
+        "(0 = drain as fast as possible — the throughput mode; "
+        "1 = real time, which is where prefetch gets idle gaps to run in)",
     )
     return parser
 

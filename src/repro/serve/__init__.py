@@ -9,7 +9,14 @@ The first layer above the render dispatchers that treats frames as
   camera, gaze region, config);
 - :mod:`repro.serve.scheduler` — :class:`ServeLoop`, the asyncio
   micro-batching scheduler coalescing pending requests into
-  :func:`repro.foveation.render_foveated_batch` calls;
+  :func:`repro.foveation.render_foveated_batch` calls, with per-request
+  deadlines (EDF batching, drop-or-degrade under pressure) and a
+  two-class queue where real misses preempt speculative prefetches;
+- :mod:`repro.serve.predictor` — :class:`GazePredictor`, the
+  constant-velocity / saccade-aware scanpath extrapolator behind
+  speculative gaze-region prefetch;
+- :mod:`repro.serve.oracle` — the exhaustive batch-schedule oracle on
+  tiny traces (≤8 requests) the greedy scheduler is compared against;
 - :mod:`repro.serve.workers` — :class:`RenderWorkerPool`, the process
   pool that renders pose groups off the event loop (``workers > 0``):
   stateful workers hold the model and a private view cache, only
@@ -44,6 +51,18 @@ from .regions import (
     ring_edges,
     ring_width_deg,
 )
+from .oracle import (
+    MAX_ORACLE_REQUESTS,
+    OracleCostModel,
+    OracleRequest,
+    ScheduleOutcome,
+    exhaustive_schedule,
+    greedy_schedule,
+    oracle_problem_from_trace,
+    schedule_gap,
+    simulate_schedule,
+)
+from .predictor import GazePredictor, PredictorConfig
 from .replay import (
     ReplayReport,
     frames_checksum,
@@ -80,10 +99,16 @@ __all__ = [
     "FrameRequest",
     "FrameResponse",
     "GazeGridSpec",
+    "GazePredictor",
     "GazeRegionKey",
     "HashRing",
+    "MAX_ORACLE_REQUESTS",
+    "OracleCostModel",
+    "OracleRequest",
+    "PredictorConfig",
     "RenderWorkerPool",
     "ReplayReport",
+    "ScheduleOutcome",
     "ServeConfig",
     "ServeLoop",
     "ServeTrace",
@@ -93,10 +118,13 @@ __all__ = [
     "WorkloadSpec",
     "default_shards",
     "default_workers",
+    "exhaustive_schedule",
     "foveated_model_fingerprint",
     "frames_checksum",
     "gaze_polar",
     "generate_serve_trace",
+    "greedy_schedule",
+    "oracle_problem_from_trace",
     "polar_gaze",
     "pose_request_counts",
     "quantize_gaze",
@@ -109,5 +137,7 @@ __all__ = [
     "ring_area_deg2",
     "ring_edges",
     "ring_width_deg",
+    "schedule_gap",
+    "simulate_schedule",
     "zipf_weights",
 ]

@@ -1,0 +1,314 @@
+"""Exhaustive batch-schedule oracle for tiny traces: how good is the greedy loop?
+
+The serve scheduler is a greedy heuristic: coalesce whatever is pending
+(earliest deadline first), render, repeat.  Following the
+buffered-processing-unit scheduling literature (ASP-encoded optimal
+schedules compared against heuristics on small instances — see PAPERS.md),
+this module grounds that heuristic against the true optimum on traces
+small enough to enumerate: every **ordered partition of the requests into
+batches** is simulated under an abstract cost model, and the best schedule
+(fewest deadline misses, then least total latency) is reported next to
+what the greedy policy would have done.
+
+The cost model mirrors the real loop's structure, not its constants:
+
+- rendering a batch pays one pose-preparation cost per pose whose
+  projection prefix is not yet in the view cache, plus a per-frame render
+  cost per *distinct uncached key* (in-batch duplicates dedup, exactly as
+  the scheduler's follower logic does);
+- a key rendered by an earlier batch is a frame-cache hit: zero render
+  cost for later requests of that key;
+- a batch starts when the server is free and all its members have
+  arrived; every member completes when the batch completes (the resolve
+  barrier of one batching cycle).
+
+Ordered partitions of ``n`` requests grow like the ordered Bell numbers
+(545 835 at ``n = 8``), so problems are capped at
+:data:`MAX_ORACLE_REQUESTS`; branch-and-bound on the incumbent keeps the
+search fast in practice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from .regions import GazeGridSpec, quantize_gaze
+from .workload import ServeTrace
+
+__all__ = [
+    "MAX_ORACLE_REQUESTS",
+    "OracleRequest",
+    "OracleCostModel",
+    "ScheduleOutcome",
+    "simulate_schedule",
+    "exhaustive_schedule",
+    "greedy_schedule",
+    "schedule_gap",
+    "oracle_problem_from_trace",
+]
+
+MAX_ORACLE_REQUESTS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleRequest:
+    """One abstract request: arrival, cache key, pose group, deadline.
+
+    ``key`` and ``pose`` are opaque ids — two requests share a rendered
+    frame iff their keys are equal, and share a projection prefix iff
+    their poses are equal.  ``deadline_s`` is absolute (same clock as
+    ``arrival_s``); ``None`` means best-effort.
+    """
+
+    arrival_s: float
+    key: int
+    pose: int
+    deadline_s: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleCostModel:
+    """Abstract serving costs (units are arbitrary but shared)."""
+
+    prepare_s: float = 1.0  # pose projection prefix, paid once per pose ever
+    render_s: float = 0.25  # one frame's rasterization passes
+    batch_s: float = 0.05  # fixed per-batch dispatch overhead
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleOutcome:
+    """What one simulated schedule did to the requests."""
+
+    batches: tuple[tuple[int, ...], ...]  # request indices per batch, in order
+    completion_s: tuple[float, ...]  # per request, indexed like the problem
+    deadline_misses: int
+    total_latency_s: float
+
+    @property
+    def objective(self) -> tuple[int, float]:
+        """Lexicographic objective: misses first, then total latency."""
+        return (self.deadline_misses, self.total_latency_s)
+
+
+def simulate_schedule(
+    requests: list[OracleRequest],
+    batches: list[tuple[int, ...]],
+    cost: OracleCostModel,
+) -> ScheduleOutcome:
+    """Run one ordered batch partition through the abstract server."""
+    completion = [0.0] * len(requests)
+    rendered_keys: set[int] = set()
+    prepared_poses: set[int] = set()
+    clock = 0.0
+    misses = 0
+    total_latency = 0.0
+    for batch in batches:
+        start = max(clock, max(requests[i].arrival_s for i in batch))
+        work = cost.batch_s
+        for i in batch:
+            request = requests[i]
+            if request.key in rendered_keys:
+                continue  # frame-cache hit: no render
+            if request.pose not in prepared_poses:
+                work += cost.prepare_s
+                prepared_poses.add(request.pose)
+            work += cost.render_s
+            rendered_keys.add(request.key)
+        clock = start + work
+        for i in batch:
+            completion[i] = clock
+            latency = clock - requests[i].arrival_s
+            total_latency += latency
+            deadline = requests[i].deadline_s
+            if deadline is not None and clock > deadline:
+                misses += 1
+    return ScheduleOutcome(
+        batches=tuple(tuple(b) for b in batches),
+        completion_s=tuple(completion),
+        deadline_misses=misses,
+        total_latency_s=total_latency,
+    )
+
+
+def _ordered_partitions(items: tuple[int, ...]):
+    """Yield every ordered partition (sequence of non-empty batches)."""
+    if not items:
+        yield []
+        return
+    n = len(items)
+    first = items[0]
+    rest = items[1:]
+    # Choose the members of the first batch (always containing items[0]),
+    # then recurse on the remainder.
+    for r in range(len(rest) + 1):
+        for combo in itertools.combinations(rest, r):
+            chosen = (first,) + combo
+            remaining = tuple(i for i in rest if i not in combo)
+            for tail in _ordered_partitions(remaining):
+                yield [chosen] + tail
+    _ = n  # (documentational: complexity is the ordered Bell number of n)
+
+
+def exhaustive_schedule(
+    requests: list[OracleRequest],
+    cost: OracleCostModel | None = None,
+) -> ScheduleOutcome:
+    """The optimal schedule by exhaustive search (``len(requests) <= 8``).
+
+    Enumerates ordered partitions of the request set into batches (order
+    within a batch does not matter — the simulator dedups by key and sums
+    costs), simulating each and keeping the lexicographically best
+    ``(deadline misses, total latency)``.  The incumbent prunes nothing
+    mid-partition (schedules are cheap to simulate at this size), but the
+    request cap keeps the enumeration's ordered-Bell growth bounded.
+    """
+    if len(requests) > MAX_ORACLE_REQUESTS:
+        raise ValueError(
+            f"exhaustive oracle is capped at {MAX_ORACLE_REQUESTS} requests "
+            f"(got {len(requests)}); ordered partitions grow like the "
+            "ordered Bell numbers"
+        )
+    if not requests:
+        raise ValueError("need at least one request")
+    cost = cost or OracleCostModel()
+    # Enumerate in arrival order: batches that mix a late arrival into an
+    # early batch just delay the batch start, and the simulator handles it,
+    # so ordering the items canonically only dedups symmetric partitions.
+    order = tuple(
+        sorted(range(len(requests)), key=lambda i: (requests[i].arrival_s, i))
+    )
+    best: ScheduleOutcome | None = None
+    for partition in _ordered_partitions(order):
+        outcome = simulate_schedule(requests, partition, cost)
+        if best is None or outcome.objective < best.objective:
+            best = outcome
+    assert best is not None
+    return best
+
+
+def greedy_schedule(
+    requests: list[OracleRequest],
+    cost: OracleCostModel | None = None,
+    batch_budget: int = 8,
+) -> ScheduleOutcome:
+    """The serve loop's policy on the abstract model: drain, EDF, render.
+
+    Mirrors ``ServeLoop._collect`` in drain mode: when the server frees
+    up, take everything that has arrived (up to ``batch_budget``, earliest
+    deadline first, arrival as the tie-break), render it as one batch; if
+    nothing is pending, sleep until the next arrival.
+    """
+    cost = cost or OracleCostModel()
+    pending = sorted(range(len(requests)), key=lambda i: requests[i].arrival_s)
+    batches: list[tuple[int, ...]] = []
+    clock = 0.0
+    # Replay the simulator's cost bookkeeping to know when the server frees.
+    rendered_keys: set[int] = set()
+    prepared_poses: set[int] = set()
+    while pending:
+        arrived = [i for i in pending if requests[i].arrival_s <= clock]
+        if not arrived:
+            clock = requests[pending[0]].arrival_s
+            arrived = [i for i in pending if requests[i].arrival_s <= clock]
+        arrived.sort(
+            key=lambda i: (
+                requests[i].deadline_s
+                if requests[i].deadline_s is not None
+                else float("inf"),
+                requests[i].arrival_s,
+                i,
+            )
+        )
+        batch = tuple(arrived[:batch_budget])
+        batches.append(batch)
+        work = cost.batch_s
+        for i in batch:
+            request = requests[i]
+            if request.key in rendered_keys:
+                continue
+            if request.pose not in prepared_poses:
+                work += cost.prepare_s
+                prepared_poses.add(request.pose)
+            work += cost.render_s
+            rendered_keys.add(request.key)
+        clock = max(clock, max(requests[i].arrival_s for i in batch)) + work
+        batch_set = set(batch)
+        pending = [i for i in pending if i not in batch_set]
+    return simulate_schedule(requests, batches, cost)
+
+
+def schedule_gap(
+    requests: list[OracleRequest],
+    cost: OracleCostModel | None = None,
+    batch_budget: int = 8,
+) -> dict:
+    """Optimal-vs-heuristic comparison of one tiny problem (a report row).
+
+    Returns both outcomes plus the miss and latency gaps.  ``latency_gap``
+    is relative to the optimum's total latency (0.0 = the greedy schedule
+    is optimal on latency too).
+    """
+    optimal = exhaustive_schedule(requests, cost)
+    heuristic = greedy_schedule(requests, cost, batch_budget=batch_budget)
+    latency_gap = (
+        (heuristic.total_latency_s - optimal.total_latency_s)
+        / optimal.total_latency_s
+        if optimal.total_latency_s > 0
+        else 0.0
+    )
+    return {
+        "n_requests": len(requests),
+        "optimal": optimal,
+        "heuristic": heuristic,
+        "optimal_misses": optimal.deadline_misses,
+        "heuristic_misses": heuristic.deadline_misses,
+        "miss_gap": heuristic.deadline_misses - optimal.deadline_misses,
+        "latency_gap": latency_gap,
+    }
+
+
+def oracle_problem_from_trace(
+    trace: ServeTrace,
+    n_requests: int = 6,
+    deadline_s: float | None = None,
+    spec: GazeGridSpec | None = None,
+) -> list[OracleRequest]:
+    """Abstract the first ``n_requests`` of a real trace into an oracle problem.
+
+    Keys are ``(pose index, gaze region)`` — the same sharing granularity
+    as the real frame cache under a fixed model and config — and poses are
+    the trace's pose indices.  ``deadline_s`` (relative to each arrival)
+    stamps every request; the trace's own per-request ``deadline_s`` wins
+    when present.
+    """
+    if n_requests > MAX_ORACLE_REQUESTS:
+        raise ValueError(
+            f"oracle problems are capped at {MAX_ORACLE_REQUESTS} requests"
+        )
+    spec = spec or GazeGridSpec()
+    head = trace.requests[:n_requests]
+    if not head:
+        raise ValueError("trace has no requests")
+    key_ids: dict[tuple, int] = {}
+    out: list[OracleRequest] = []
+    for request in head:
+        region = quantize_gaze(trace.camera_of(request), request.gaze, spec)
+        key = (request.pose_index, region)
+        key_id = key_ids.setdefault(key, len(key_ids))
+        relative = (
+            request.deadline_s
+            if getattr(request, "deadline_s", None) is not None
+            else deadline_s
+        )
+        out.append(
+            OracleRequest(
+                arrival_s=request.time_s,
+                key=key_id,
+                pose=request.pose_index,
+                deadline_s=(
+                    request.time_s + relative if relative is not None else None
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,140 @@
+"""Predictive gaze extrapolation: where each client will look next.
+
+VR traffic is periodic (a 72/90/120 Hz client asks for one frame per
+refresh) and gaze scanpaths have momentum: fixations dwell with sub-degree
+drift, saccades travel ballistically for several frames
+(:mod:`repro.scenes.gaze`).  Both regimes are predictable one or two
+frames out — which is exactly the window the serve tier needs to turn a
+cold :class:`~repro.serve.regions.FrameCache` miss (full render latency)
+into a hit (no render at all): speculatively render the *next* likely
+gaze regions while the client is still displaying the current frame.
+
+:class:`GazePredictor` keeps a short per-client gaze history and
+extrapolates it:
+
+- **constant-velocity** (``saccade_aware=False``): the next positions
+  continue the last inter-frame step linearly — the classic dead-reckoning
+  predictor;
+- **saccade-aware** (default): the last step is classified against
+  ``saccade_px`` (the same threshold as
+  :func:`repro.scenes.gaze.saccade_frames`).  A *fixation* step is ocular
+  drift — zero-mean noise whose linear extrapolation is itself noise — so
+  the prediction **holds** the current position.  A *saccade* step is
+  ballistic and keeps its velocity for tens of milliseconds, so the
+  prediction continues it linearly.
+
+The predictor deals only in gaze pixels; the scheduler quantizes
+predictions onto the gaze grid, drops the ones that collapse onto
+already-cached (or already-pending) regions, and enqueues the rest as
+low-priority prefetch requests that real misses preempt
+(:mod:`repro.serve.scheduler`).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+__all__ = ["PredictorConfig", "GazePredictor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictorConfig:
+    """Knobs of the speculative-prefetch policy.
+
+    ``horizon`` is how many future frames are extrapolated per observed
+    request (each yields at most one prefetch candidate); ``history``
+    bounds the per-client gaze samples retained; ``saccade_px`` splits
+    fixation drift from ballistic saccades (only meaningful when
+    ``saccade_aware``); ``max_backlog`` caps the number of prefetch
+    requests allowed to sit in the scheduler's low-priority queue — the
+    speculation budget that keeps a burst of predictions from starving
+    real work.
+    """
+
+    horizon: int = 2
+    history: int = 4
+    saccade_aware: bool = True
+    saccade_px: float = 4.0
+    max_backlog: int = 16
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        if self.history < 2:
+            raise ValueError("history must be at least 2 (velocity needs two samples)")
+        if self.saccade_px <= 0:
+            raise ValueError("saccade_px must be positive")
+        if self.max_backlog < 1:
+            raise ValueError("max_backlog must be at least 1")
+
+
+class GazePredictor:
+    """Per-client gaze history + extrapolation (pure pixel-space, no render).
+
+    ``observe`` feeds one served request's gaze; ``predict`` returns up to
+    ``config.horizon`` future gaze pixels, clamped to the display.  A
+    client with fewer than two observations has no velocity estimate and
+    predicts nothing.  State is per ``client_id``: clients' scanpaths are
+    independent, and a client hopping poses keeps its gaze momentum (the
+    scanpath lives in screen space).
+    """
+
+    def __init__(self, config: PredictorConfig | None = None) -> None:
+        self.config = config or PredictorConfig()
+        self._history: dict[int, collections.deque] = {}
+
+    def observe(self, client_id: int, gaze: tuple[float, float] | None) -> None:
+        """Record one served gaze sample for ``client_id`` (``None`` ignored)."""
+        if gaze is None:
+            return
+        history = self._history.get(client_id)
+        if history is None:
+            history = collections.deque(maxlen=self.config.history)
+            self._history[client_id] = history
+        history.append((float(gaze[0]), float(gaze[1])))
+
+    def velocity(self, client_id: int) -> tuple[float, float] | None:
+        """Last inter-frame gaze step ``(dx, dy)`` in pixels, or ``None``."""
+        history = self._history.get(client_id)
+        if history is None or len(history) < 2:
+            return None
+        (x0, y0), (x1, y1) = history[-2], history[-1]
+        return (x1 - x0, y1 - y0)
+
+    def predict(
+        self, client_id: int, width: int, height: int
+    ) -> list[tuple[float, float]]:
+        """Up to ``horizon`` future gaze pixels for ``client_id``, clamped.
+
+        Constant-velocity mode extrapolates the last step ``k`` frames
+        out; saccade-aware mode holds position during fixations (drift is
+        noise, not signal) and extrapolates only ballistic steps.  A held
+        prediction is returned once (duplicates carry no information — the
+        scheduler would drop them against the cache anyway).
+        """
+        velocity = self.velocity(client_id)
+        if velocity is None:
+            return []
+        x, y = self._history[client_id][-1]
+        dx, dy = velocity
+        if self.config.saccade_aware:
+            step = (dx * dx + dy * dy) ** 0.5
+            if step <= self.config.saccade_px:
+                # Fixation: the best next-frame estimate is "still here".
+                return [_clamp(x, y, width, height)]
+        out = []
+        for k in range(1, self.config.horizon + 1):
+            out.append(_clamp(x + dx * k, y + dy * k, width, height))
+        return out
+
+    def forget(self, client_id: int) -> None:
+        """Drop a client's history (its session ended)."""
+        self._history.pop(client_id, None)
+
+
+def _clamp(x: float, y: float, width: int, height: int) -> tuple[float, float]:
+    return (
+        min(max(x, 0.0), float(width - 1)),
+        min(max(y, 0.0), float(height - 1)),
+    )

@@ -329,6 +329,55 @@ class FrameCache:
         self._entries[key] = entry
         return entry[0]
 
+    def contains(self, key: tuple) -> bool:
+        """Membership test that is both counter- and recency-neutral.
+
+        The scheduler's prefetch dedup probes the cache for keys it merely
+        *considers* speculating on; those probes must neither count as
+        lookups nor promote entries in the LRU order.
+        """
+        return key in self._entries
+
+    def degraded_alternate(self, key: tuple):
+        """The best cached frame of the same pose at *another* gaze region.
+
+        The degrade policy's lookup: when a deadline-pressed request cannot
+        render in time, a frame rendered for a neighbouring region of the
+        same (model, camera, config) still covers the requested gaze — just
+        in that frame's peripheral, coarser LOD.  Candidates share every
+        key element except the gaze region; the nearest region wins (ring
+        distance first, then circular sector distance, then a deterministic
+        index tie-break).  Counter- and recency-neutral like
+        :meth:`contains` — a degraded serve is neither a hit nor a miss of
+        the exact key, and must not perturb LRU order.  Returns the cached
+        frame or ``None``.
+        """
+        model_fp, camera_fp, region, config_fp = key
+        n_sectors = self.spec.n_sectors
+        best = None
+        best_rank: tuple | None = None
+        for other, (result, _) in self._entries.items():
+            if (
+                other[0] != model_fp
+                or other[1] != camera_fp
+                or other[3] != config_fp
+            ):
+                continue
+            other_region = other[2]
+            if other_region == region:
+                continue  # the exact key is a hit, not a degrade
+            ring_d = abs(other_region.ring - region.ring)
+            if other_region.ring == 0 or region.ring == 0:
+                # The foveal disc has a single sector spanning all angles.
+                sector_d = 0
+            else:
+                raw = abs(other_region.sector - region.sector)
+                sector_d = min(raw, n_sectors - raw)
+            rank = (ring_d, sector_d, other_region.ring, other_region.sector)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = result, rank
+        return best
+
     def put(self, key: tuple, result) -> None:
         """Insert a rendered frame, evicting LRU entries past the budget.
 

@@ -59,6 +59,11 @@ class ReplayReport:
     frames_checksum: str
     cache_stats: dict | None = None
     shard_stats: dict | None = None  # ShardRouter.stats() of a sharded replay
+    # Deadline metrics: None when the trace carried no deadlines (best-effort
+    # replay), rates over the deadline-carrying responses otherwise.
+    deadline_miss_rate: float | None = None
+    degraded_rate: float | None = None
+    prefetch_stats: dict | None = None  # ServeLoop.prefetch_stats() when enabled
 
     @property
     def mean_batch_size(self) -> float:
@@ -83,6 +88,21 @@ class ReplayReport:
             out.append(
                 f"  batches (size:count): {histogram}  "
                 f"(mean {self.mean_batch_size:.2f})"
+            )
+        if self.deadline_miss_rate is not None:
+            degraded = (
+                f"  degraded {self.degraded_rate:.1%}"
+                if self.degraded_rate is not None
+                else ""
+            )
+            out.append(
+                f"  deadlines: miss rate {self.deadline_miss_rate:.1%}{degraded}"
+            )
+        if self.prefetch_stats is not None:
+            s = self.prefetch_stats
+            out.append(
+                f"  prefetch: enqueued={s['enqueued']} rendered={s['rendered']} "
+                f"dropped={s['dropped']} useful={s['useful']}"
             )
         if self.cache_stats is not None:
             s = self.cache_stats
@@ -141,6 +161,23 @@ def _latency_report(
     )
 
 
+def _deadline_rates(
+    responses: list[FrameResponse],
+) -> tuple[float | None, float | None]:
+    """(deadline-miss rate, degraded rate) over deadline-carrying responses.
+
+    ``(None, None)`` when no response carried a deadline (a best-effort
+    replay keeps its report columns empty instead of printing fake zeros).
+    """
+    with_deadline = [r for r in responses if r.deadline_s is not None]
+    if not with_deadline:
+        return None, None
+    n = len(with_deadline)
+    misses = sum(1 for r in with_deadline if r.deadline_missed)
+    degraded = sum(1 for r in with_deadline if r.degraded)
+    return misses / n, degraded / n
+
+
 def replay_trace(
     fmodel: FoveatedModel,
     trace: ServeTrace,
@@ -175,6 +212,7 @@ def replay_trace(
                         client_id=request.client_id,
                         camera=trace.camera_of(request),
                         gaze=request.gaze,
+                        deadline_s=request.deadline_s,
                     )
                 )
 
@@ -199,6 +237,9 @@ def replay_trace(
         checksum=frames_checksum(r.result.image for r in responses),
         cache_stats=loop.frame_cache.stats() if loop.frame_cache else None,
     )
+    report.deadline_miss_rate, report.degraded_rate = _deadline_rates(responses)
+    if loop.predictor is not None:
+        report.prefetch_stats = loop.prefetch_stats()
     return responses, report
 
 
@@ -247,6 +288,7 @@ def replay_trace_sharded(
                         client_id=request.client_id,
                         camera=trace.camera_of(request),
                         gaze=request.gaze,
+                        deadline_s=request.deadline_s,
                     )
                 )
 
@@ -279,6 +321,13 @@ def replay_trace_sharded(
         cache_stats=None,
     )
     report.shard_stats = router.stats()
+    report.deadline_miss_rate, report.degraded_rate = _deadline_rates(responses)
+    if router.serve_config.prefetch is not None:
+        totals: dict[str, int] = {}
+        for shard in router.shards:
+            for field, value in shard.prefetch_stats().items():
+                totals[field] = totals.get(field, 0) + value
+        report.prefetch_stats = totals
     return responses, report
 
 

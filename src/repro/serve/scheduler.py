@@ -1,4 +1,4 @@
-"""The async serve loop: request coalescing over ``render_foveated_batch``.
+"""The async serve loop: deadline-aware coalescing over ``render_foveated_batch``.
 
 The first layer above the render dispatchers that treats frames as
 *requests*.  Clients ``await ServeLoop.submit(FrameRequest)``; the loop
@@ -7,13 +7,37 @@ The first layer above the render dispatchers that treats frames as
    synchronously (no queueing, no render),
 2. queues misses for the batcher task, which coalesces everything pending
    — up to ``batch_budget`` requests, waiting at most ``batch_deadline_s``
-   for the batch to fill — and dispatches each **pose's** requests as one
+   for the batch to fill (never past a pending frame deadline) — and
+   dispatches each **pose's** requests as one
    :func:`repro.foveation.render_foveated_batch` call (the pose's
    projection prefix is prepared once; its gaze samples' level passes
    ride one concatenated span scan, which is exact per frame),
 3. de-duplicates requests that collapse onto the same cache key inside a
    batch: the key's first request is rendered at *its* gaze, later ones are
    served from that frame as hits.
+
+**Deadlines.**  A request may carry a frame budget
+(``FrameRequest.deadline_s``, defaulting to one refresh period when
+``ServeConfig.refresh_hz`` is set).  The batcher renders misses earliest
+deadline first, caps the straggler wait so collecting never eats a
+pending frame's slack, and — when a render is predicted to finish late
+(EWMA of recent per-frame render time) — can *degrade* instead of miss:
+serve the cached frame of a neighbouring gaze region of the same pose
+(the requested gaze then falls in that frame's peripheral, coarser LOD)
+rather than pay a late render.  Per-response ``deadline_missed`` /
+``degraded`` flags and loop counters make the policy auditable:
+``deadline_misses + on_time == requests_served`` always.
+
+**Prefetch.**  With ``ServeConfig.prefetch`` set, a
+:class:`~repro.serve.predictor.GazePredictor` extrapolates each client's
+scanpath and enqueues the predicted next gaze regions as **low-priority
+prefetch requests**: real misses always dequeue first, prefetches fill
+leftover batch capacity, and a prefetch that was overtaken (its region
+got rendered or cached, or it went stale) is dropped, not rendered.
+Prefetched frames enter the :class:`FrameCache` but are *never* counted
+as client traffic — not in latencies, hit/miss counters, batch sizes, or
+``requests_served`` — so the hit rate stays an honest property of client
+requests (``prefetch_useful`` counts the hits prefetching created).
 
 Guarantees: in the default ``exact_frames`` mode a cache-miss response is
 **bit-identical** to a per-request :func:`repro.foveation.render_foveated`
@@ -22,23 +46,25 @@ call at the request's own camera and gaze (batch-of-one dispatch is exact;
 group at 1e-10 equivalence); a hit
 returns a frame previously rendered for the same (model, pose, gaze
 region, config) key — never across model mutations, backends, or poses.
+A prefetch never defines a client miss's gaze: client requests claim key
+leadership before prefetches, so exactness is unaffected by speculation.
 
 Per-request latency, batch sizes and cache counters are recorded on the
-loop for the replay harness and benchmarks.  With ``workers=0`` (the
-default) rendering runs inline on the event loop — the simulation
-measures scheduling and cache policy, not OS thread handoff.  With
-``workers>0`` each pose group is dispatched to a
-:class:`~repro.serve.workers.RenderWorkerPool` process via
-``run_in_executor``: ``submit()`` latency decouples from render time
-(hits are served and new misses queue while renders are in flight) and
-concurrent pose groups render on distinct cores, with frames still
-bit-identical to the inline path.
+loop for the replay harness and benchmarks.  Latency is stamped **per
+pose group** as its results arrive — one group's requests are never
+charged a later group's render time.  With ``workers=0`` (the default)
+rendering runs inline on the event loop; with ``workers>0`` each pose
+group is dispatched to a :class:`~repro.serve.workers.RenderWorkerPool`
+process via ``run_in_executor``, with frames still bit-identical to the
+inline path.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import dataclasses
+import math
 import time
 from typing import Sequence
 
@@ -46,13 +72,22 @@ from ..foveation import FRRenderResult, render_foveated_batch
 from ..foveation.hierarchy import FoveatedModel
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig, ViewCache
-from .regions import FrameCache, GazeGridSpec
+from .predictor import GazePredictor, PredictorConfig
+from .regions import FrameCache, GazeGridSpec, quantize_gaze
 from .workers import RenderWorkerPool
+
+# EWMA weight of the newest per-frame render measurement (the estimator
+# behind the degrade policy and the deadline-capped straggler wait).
+_RENDER_EWMA_ALPHA = 0.4
 
 
 @dataclasses.dataclass(frozen=True)
 class FrameRequest:
     """One client's ask for a foveated frame at a pose and gaze.
+
+    ``deadline_s`` is the frame budget in seconds *from submission* (e.g.
+    ``1/90`` for a 90 Hz client); ``None`` defers to the loop's
+    ``ServeConfig.refresh_hz`` (and means best-effort when that is unset).
 
     A request is a single submission's value object: its cache key (model,
     camera and gaze-region fingerprints) is computed once on first use —
@@ -66,6 +101,7 @@ class FrameRequest:
     client_id: int
     camera: Camera
     gaze: tuple[float, float] | None = None
+    deadline_s: float | None = None
 
 
 def request_cache_key(
@@ -100,13 +136,26 @@ def request_cache_key(
 
 @dataclasses.dataclass(repr=False)
 class FrameResponse:
-    """A served frame plus how it was produced (for reports and tests)."""
+    """A served frame plus how it was produced (for reports and tests).
+
+    ``batch_size`` is the number of distinct client renders in the **pose
+    group** that produced this frame (0 = served from cache, no render) —
+    the same per-group granularity ``ServeLoop.batch_sizes`` records, so
+    the two never disagree on batching semantics.  ``deadline_missed`` is
+    whether the frame resolved after its deadline; ``degraded`` marks a
+    frame served from a *neighbouring* gaze region's cache entry under
+    deadline pressure (coarser LOD at the requested gaze) instead of a
+    late render.
+    """
 
     request: FrameRequest
     result: FRRenderResult
     cache_hit: bool
-    batch_size: int  # distinct renders in the batch that produced it (0 = pure hit)
+    batch_size: int
     latency_s: float
+    deadline_s: float | None = None  # effective frame budget (None = best-effort)
+    deadline_missed: bool = False
+    degraded: bool = False
 
     def __repr__(self) -> str:
         # Compact on purpose: the default dataclass repr would stringify the
@@ -116,7 +165,8 @@ class FrameResponse:
         return (
             f"FrameResponse(client={self.request.client_id}, "
             f"cache_hit={self.cache_hit}, batch_size={self.batch_size}, "
-            f"latency_ms={self.latency_s * 1e3:.3f})"
+            f"latency_ms={self.latency_s * 1e3:.3f}, "
+            f"deadline_missed={self.deadline_missed}, degraded={self.degraded})"
         )
 
 
@@ -127,8 +177,21 @@ class ServeConfig:
     ``batch_budget`` caps how many queued requests coalesce into one
     batching cycle; ``batch_deadline_s`` is the longest the batcher waits
     for the batch to fill once it holds a request (0 = batch only what is
-    already pending — the deterministic replay setting).  ``cache_max_bytes
-    = None`` disables the frame cache entirely (every request renders).
+    already pending — the deterministic replay setting; the wait is
+    additionally capped by the earliest pending frame deadline).
+    ``cache_max_bytes = None`` disables the frame cache entirely (every
+    request renders).
+
+    ``refresh_hz`` derives the default per-request frame budget
+    (``1/refresh_hz`` seconds — 72/90/120 Hz VR refreshes) for requests
+    that carry no explicit ``deadline_s``; ``None`` leaves such requests
+    best-effort.  ``degrade_on_deadline`` enables the drop-or-degrade
+    policy: a miss predicted to render past its deadline is served the
+    cached frame of the nearest other gaze region of the same pose (the
+    requested gaze lands in its coarser periphery) instead of rendering
+    late; it only ever fires for requests that *have* deadlines.
+    ``prefetch`` (a :class:`~repro.serve.predictor.PredictorConfig`)
+    enables speculative gaze prefetch; ``None`` disables it.
 
     ``exact_frames`` picks the miss-render dispatch: ``True`` (default)
     chunks each pose group to batch-of-one inside its
@@ -153,6 +216,9 @@ class ServeConfig:
     grid: GazeGridSpec = GazeGridSpec()
     exact_frames: bool = True
     workers: int = 0
+    refresh_hz: float | None = None
+    degrade_on_deadline: bool = True
+    prefetch: PredictorConfig | None = None
 
     def __post_init__(self) -> None:
         if self.batch_budget < 1:
@@ -161,14 +227,140 @@ class ServeConfig:
             raise ValueError("batch_deadline_s must be non-negative")
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.refresh_hz is not None and self.refresh_hz <= 0:
+            raise ValueError("refresh_hz must be positive")
+
+    @property
+    def frame_budget_s(self) -> float | None:
+        """The default per-request deadline (one refresh period), if any."""
+        return 1.0 / self.refresh_hz if self.refresh_hz is not None else None
 
 
 @dataclasses.dataclass
 class _Pending:
     request: FrameRequest
     key: tuple
-    future: asyncio.Future
+    future: asyncio.Future | None  # None for loop-internal prefetch requests
     t_submit: float
+    deadline_s: float | None = None  # relative frame budget
+    t_deadline: float | None = None  # absolute (perf_counter clock)
+    prefetch: bool = False
+
+
+class _TwoClassQueue:
+    """An asyncio queue with an urgent and a low-priority (prefetch) class.
+
+    ``get`` always drains urgent items before prefetch items — that *is*
+    the preemption policy: a real miss entering the queue overtakes every
+    pending speculation.  Items live in plain deques until a getter pops
+    them **synchronously after resuming**, so a getter cancelled between
+    wake-up and resumption never strands an item outside the queue — the
+    lost-request race the old ``asyncio.wait_for(queue.get(), ...)``
+    pattern allowed (a timeout landing after the getter dequeued could
+    drop the item on the floor and hang ``join()`` forever).
+    ``drain_getter`` completes the pattern: it cancels an outstanding
+    ``get`` task and *returns* the item if the cancellation raced a
+    successful pop.
+
+    ``join``/``task_done`` follow ``asyncio.Queue`` semantics (``close``
+    drains on them); ``requeue`` puts a recovered item back at the front
+    of its class without re-counting it as new work.
+    """
+
+    def __init__(self) -> None:
+        self._urgent: collections.deque[_Pending] = collections.deque()
+        self._prefetch: collections.deque[_Pending] = collections.deque()
+        self._getters: collections.deque[asyncio.Future] = collections.deque()
+        self._join_waiters: list[asyncio.Future] = []
+        self._unfinished = 0
+
+    def qsize(self) -> int:
+        return len(self._urgent) + len(self._prefetch)
+
+    @property
+    def urgent_size(self) -> int:
+        return len(self._urgent)
+
+    @property
+    def prefetch_size(self) -> int:
+        return len(self._prefetch)
+
+    def empty(self) -> bool:
+        return not (self._urgent or self._prefetch)
+
+    def put_nowait(self, item: _Pending) -> None:
+        (self._prefetch if item.prefetch else self._urgent).append(item)
+        self._unfinished += 1
+        self._wakeup_next()
+
+    def requeue(self, item: _Pending) -> None:
+        """Put a recovered (already-counted) item back at the head of its class."""
+        (self._prefetch if item.prefetch else self._urgent).appendleft(item)
+        self._wakeup_next()
+
+    def get_nowait(self) -> _Pending:
+        if self._urgent:
+            return self._urgent.popleft()
+        if self._prefetch:
+            return self._prefetch.popleft()
+        raise asyncio.QueueEmpty
+
+    async def get(self) -> _Pending:
+        while self.empty():
+            waiter = asyncio.get_running_loop().create_future()
+            self._getters.append(waiter)
+            try:
+                await waiter
+            except BaseException:
+                waiter.cancel()
+                try:
+                    self._getters.remove(waiter)
+                except ValueError:
+                    pass
+                # Our wake-up may have been consumed by the cancellation;
+                # pass it on so a concurrent getter is not starved.
+                if not self.empty():
+                    self._wakeup_next()
+                raise
+        return self.get_nowait()
+
+    @staticmethod
+    async def drain_getter(getter: asyncio.Future) -> _Pending | None:
+        """Cancel an outstanding ``get`` task, recovering a raced item.
+
+        If the getter popped an item in the same event-loop tick the
+        caller decided to stop waiting, cancellation does not take — the
+        item is returned instead of being dropped (the satellite-bug fix).
+        """
+        getter.cancel()
+        try:
+            return await getter
+        except (asyncio.CancelledError, asyncio.QueueEmpty):
+            return None
+
+    def _wakeup_next(self) -> None:
+        while self._getters:
+            waiter = self._getters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+
+    def task_done(self) -> None:
+        if self._unfinished <= 0:
+            raise ValueError("task_done() called more times than items queued")
+        self._unfinished -= 1
+        if self._unfinished == 0:
+            for waiter in self._join_waiters:
+                if not waiter.done():
+                    waiter.set_result(None)
+            self._join_waiters.clear()
+
+    async def join(self) -> None:
+        if self._unfinished == 0:
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._join_waiters.append(waiter)
+        await waiter
 
 
 class ServeLoop:
@@ -214,11 +406,31 @@ class ServeLoop:
         # disabled (keys still drive in-batch dedup).
         self._keyer = self.frame_cache or FrameCache(spec=self.serve_config.grid)
         self.view_cache = view_cache or ViewCache(maxsize=256)
+        self.predictor = (
+            GazePredictor(self.serve_config.prefetch)
+            if self.serve_config.prefetch is not None
+            else None
+        )
         self.latencies_s: list[float] = []
         self.batch_sizes: list[int] = []
         self.requests_served = 0
         self.max_queue_depth = 0
-        self._queue: asyncio.Queue[_Pending] | None = None
+        # Deadline accounting: on_time + deadline_misses == requests_served
+        # (requests without a deadline are on time by definition).
+        self.on_time = 0
+        self.deadline_misses = 0
+        self.degraded_served = 0
+        # Prefetch accounting (loop-internal traffic, never client traffic).
+        self.prefetch_enqueued = 0
+        self.prefetch_rendered = 0
+        self.prefetch_dropped = 0
+        self.prefetch_failed = 0
+        self.prefetch_useful = 0
+        self.degrade_backfills = 0
+        self._inflight_prefetch: set[tuple] = set()
+        self._prefetched_keys: set[tuple] = set()
+        self._render_ewma_s: float | None = None
+        self._queue: _TwoClassQueue | None = None
         self._batcher: asyncio.Task | None = None
         self._pool = worker_pool
         self._owns_pool = False
@@ -237,7 +449,7 @@ class ServeLoop:
                 exact_frames=self.serve_config.exact_frames,
             )
             self._owns_pool = True
-        self._queue = asyncio.Queue()
+        self._queue = _TwoClassQueue()
         self._batcher = asyncio.create_task(self._run())
 
     async def close(self) -> None:
@@ -267,7 +479,7 @@ class ServeLoop:
                 )
             while not self._queue.empty():
                 pending = self._queue.get_nowait()
-                if not pending.future.done():
+                if pending.future is not None and not pending.future.done():
                     pending.future.set_exception(exc)
                 self._queue.task_done()
         self._batcher.cancel()
@@ -297,12 +509,21 @@ class ServeLoop:
             self._keyer, self.fmodel, request, self.render_config
         )
 
+    def _effective_deadline(self, request: FrameRequest) -> float | None:
+        if request.deadline_s is not None:
+            return request.deadline_s
+        return self.serve_config.frame_budget_s
+
     async def submit(self, request: FrameRequest) -> FrameResponse:
         """Serve one request: synchronously on a cache hit, batched otherwise."""
         if self._queue is None:
             raise RuntimeError("ServeLoop is not running (use `async with`)")
         t0 = time.perf_counter()
         key = self._request_key(request)
+        deadline_s = self._effective_deadline(request)
+        t_deadline = t0 + deadline_s if deadline_s is not None else None
+        if self.predictor is not None:
+            self.predictor.observe(request.client_id, request.gaze)
         if self.frame_cache is not None:
             # Counters are managed per *request outcome* (here and in
             # ``_render_batch``) rather than per raw lookup, so a queued
@@ -311,32 +532,133 @@ class ServeLoop:
             result = self.frame_cache.peek(key)
             if result is not None:
                 self.frame_cache.hits += 1
-                latency = time.perf_counter() - t0
-                self.latencies_s.append(latency)
-                self.requests_served += 1
-                return FrameResponse(
-                    request=request,
-                    result=result,
+                self._note_prefetch_use(key)
+                response = self._resolve(
+                    _Pending(request, key, None, t0, deadline_s, t_deadline),
+                    result,
                     cache_hit=True,
                     batch_size=0,
-                    latency_s=latency,
+                    now=time.perf_counter(),
                 )
+                self._maybe_prefetch(request, key, t0)
+                return response
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(_Pending(request, key, future, t0))
-        depth = self._queue.qsize()
+        self._queue.put_nowait(
+            _Pending(request, key, future, t0, deadline_s, t_deadline)
+        )
+        depth = self._queue.urgent_size
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
+        self._maybe_prefetch(request, key, t0)
         return await future
+
+    # ------------------------------------------------------------------
+    # Predictive prefetch
+    # ------------------------------------------------------------------
+    def _maybe_prefetch(
+        self, request: FrameRequest, key: tuple, now: float
+    ) -> None:
+        """Enqueue the client's predicted next gaze regions at low priority.
+
+        Predictions reuse the triggering request's model/camera/config
+        fingerprints (only the gaze region differs), so speculation costs
+        zero extra model hashing.  A prediction is skipped when it
+        collapses onto the current region, is already cached, is already
+        in flight as a prefetch, or the speculation backlog is full.
+        """
+        config = self.serve_config.prefetch
+        if (
+            config is None
+            or self.frame_cache is None
+            or self._queue is None
+            or request.gaze is None
+        ):
+            return
+        camera = request.camera
+        predictions = self.predictor.predict(
+            request.client_id, camera.width, camera.height
+        )
+        if not predictions:
+            return
+        budget = self.serve_config.frame_budget_s
+        spec = self.serve_config.grid
+        for step, gaze in enumerate(predictions, start=1):
+            if len(self._inflight_prefetch) >= config.max_backlog:
+                break
+            region = quantize_gaze(camera, gaze, spec)
+            pkey = (key[0], key[1], region, key[3])
+            if (
+                pkey == key
+                or pkey in self._inflight_prefetch
+                or self.frame_cache.contains(pkey)
+            ):
+                continue
+            # A speculation is useful until the frame it anticipates is
+            # comfortably past; after that, rendering it would be pure
+            # waste, so it carries its own (generous) expiry.
+            expiry = (
+                now + (step + config.horizon) * budget
+                if budget is not None
+                else None
+            )
+            self._queue.put_nowait(
+                _Pending(
+                    request=FrameRequest(
+                        client_id=request.client_id,
+                        camera=camera,
+                        gaze=gaze,
+                        deadline_s=request.deadline_s,
+                    ),
+                    key=pkey,
+                    future=None,
+                    t_submit=now,
+                    deadline_s=None,
+                    t_deadline=expiry,
+                    prefetch=True,
+                )
+            )
+            self._inflight_prefetch.add(pkey)
+            self.prefetch_enqueued += 1
+
+    def _note_prefetch_use(self, key: tuple) -> None:
+        """Attribute a client cache hit to the prefetch that created the entry."""
+        if key in self._prefetched_keys:
+            self.prefetch_useful += 1
+            self._prefetched_keys.discard(key)
 
     # ------------------------------------------------------------------
     # Batcher
     # ------------------------------------------------------------------
+    def _collect_wait_s(self, batch: list[_Pending], remaining: float) -> float:
+        """Cap the straggler wait by the earliest pending frame deadline.
+
+        Waiting for a fuller batch must never eat the slack a queued
+        request needs to render before its deadline; the cap subtracts the
+        current per-frame render estimate from the tightest deadline.
+        """
+        deadlines = [
+            p.t_deadline
+            for p in batch
+            if p.t_deadline is not None and not p.prefetch
+        ]
+        if not deadlines:
+            return remaining
+        estimate = self._render_ewma_s or 0.0
+        slack = min(deadlines) - time.perf_counter() - estimate
+        return min(remaining, slack)
+
     async def _collect(self) -> list[_Pending]:
         """Block for one pending request, then coalesce up to the budget.
 
-        Everything already queued is taken immediately; if the batch is
-        still short and a deadline is configured, the batcher keeps
-        accepting arrivals until it expires.
+        Everything already queued is taken immediately (real misses before
+        prefetches — the queue's class order); if the batch is still short
+        and a deadline is configured, the batcher keeps accepting arrivals
+        until it expires or a queued frame deadline would be jeopardized.
+        The timed wait uses a shielded getter plus ``drain_getter``: a
+        timeout that races a successful pop *recovers* the popped item
+        instead of dropping it (the lost-request race the old
+        ``asyncio.wait_for(queue.get(), ...)`` allowed, which left the
+        request's future unresolved and ``close()`` hung on ``join()``).
         """
         assert self._queue is not None
         budget = self.serve_config.batch_budget
@@ -347,15 +669,27 @@ class ServeLoop:
             loop = asyncio.get_running_loop()
             deadline = loop.time() + self.serve_config.batch_deadline_s
             while len(batch) < budget:
-                timeout = deadline - loop.time()
+                timeout = self._collect_wait_s(batch, deadline - loop.time())
                 if timeout <= 0:
                     break
+                getter = asyncio.ensure_future(self._queue.get())
                 try:
                     batch.append(
-                        await asyncio.wait_for(self._queue.get(), timeout)
+                        await asyncio.wait_for(asyncio.shield(getter), timeout)
                     )
                 except asyncio.TimeoutError:
+                    recovered = await _TwoClassQueue.drain_getter(getter)
+                    if recovered is not None:
+                        batch.append(recovered)
                     break
+                except asyncio.CancelledError:
+                    # The batcher is being torn down mid-wait: put a raced
+                    # item back (still counted as queued work) so close()'s
+                    # drain can fail it instead of losing it.
+                    recovered = await _TwoClassQueue.drain_getter(getter)
+                    if recovered is not None:
+                        self._queue.requeue(recovered)
+                    raise
         return batch
 
     async def _run(self) -> None:
@@ -369,7 +703,7 @@ class ServeLoop:
                 # anything escaping here is a scheduler bug, but clients
                 # must still never hang on an unresolved future.
                 for pending in batch:
-                    if not pending.future.done():
+                    if pending.future is not None and not pending.future.done():
                         pending.future.set_exception(exc)
             finally:
                 for _ in batch:
@@ -377,72 +711,166 @@ class ServeLoop:
 
     def _dispatch_inline(
         self, groups: list[list[_Pending]]
-    ) -> list[list[FRRenderResult] | BaseException]:
-        """Render pose groups on the event loop (the ``workers=0`` path)."""
-        outcomes: list[list[FRRenderResult] | BaseException] = []
+    ) -> list[tuple[list[FRRenderResult] | BaseException, float]]:
+        """Render pose groups on the event loop (the ``workers=0`` path).
+
+        Each group's outcome carries its own completion stamp: requests
+        are charged their *own* group's render time, never a later
+        group's (the latency-attribution fix).
+        """
+        outcomes: list[tuple[list[FRRenderResult] | BaseException, float]] = []
         for group in groups:
+            t_start = time.perf_counter()
             try:
-                outcomes.append(
-                    render_foveated_batch(
-                        self.fmodel,
-                        group[0].request.camera,
-                        gazes=[p.request.gaze for p in group],
-                        config=self.render_config,
-                        batch_size=1 if self.serve_config.exact_frames else None,
-                        cache=self.view_cache,
-                    )
+                results = render_foveated_batch(
+                    self.fmodel,
+                    group[0].request.camera,
+                    gazes=[p.request.gaze for p in group],
+                    config=self.render_config,
+                    batch_size=1 if self.serve_config.exact_frames else None,
+                    cache=self.view_cache,
                 )
+                t_done = time.perf_counter()
+                self._update_render_estimate((t_done - t_start) / len(group))
+                outcomes.append((results, t_done))
             except Exception as exc:
-                outcomes.append(exc)
+                outcomes.append((exc, time.perf_counter()))
         return outcomes
 
     async def _dispatch_pool(
         self, groups: list[list[_Pending]]
-    ) -> list[list[FRRenderResult] | BaseException]:
+    ) -> list[tuple[list[FRRenderResult] | BaseException, float]]:
         """Render pose groups concurrently on the worker pool.
 
         Every group's render is dispatched at once — distinct poses land on
         distinct worker processes — and the event loop stays free while
         they run, so hits keep being served and new misses keep queueing.
-        A group whose worker failed (stale model, crashed process) yields
-        its exception in place of results; other groups are unaffected.
-        The caller's model fingerprint rides along (it is the key's first
-        element, already computed) so a worker whose snapshot went stale
-        fails the render instead of serving old parameters.
+        Each group is stamped as *its* results arrive (not when the whole
+        gather settles), so per-request latency never includes a slower
+        sibling group's tail.  A group whose worker failed (stale model,
+        crashed process) yields its exception in place of results; other
+        groups are unaffected.  The caller's model fingerprint rides along
+        (it is the key's first element, already computed) so a worker
+        whose snapshot went stale fails the render instead of serving old
+        parameters.
         """
         assert self._pool is not None
-        return await asyncio.gather(
-            *(
-                self._pool.render(
+
+        async def timed(group: list[_Pending]):
+            t_start = time.perf_counter()
+            try:
+                results = await self._pool.render(
                     group[0].request.camera,
                     [p.request.gaze for p in group],
                     model_fp=group[0].key[0],
                 )
-                for group in groups
-            ),
-            return_exceptions=True,
+            except Exception as exc:
+                return exc, time.perf_counter()
+            t_done = time.perf_counter()
+            self._update_render_estimate((t_done - t_start) / len(group))
+            return results, t_done
+
+        return await asyncio.gather(*(timed(group) for group in groups))
+
+    def _update_render_estimate(self, per_frame_s: float) -> None:
+        if self._render_ewma_s is None:
+            self._render_ewma_s = per_frame_s
+        else:
+            self._render_ewma_s += _RENDER_EWMA_ALPHA * (
+                per_frame_s - self._render_ewma_s
+            )
+
+    def _try_degrade(
+        self, pending: _Pending, followers: dict[tuple, list[_Pending]]
+    ) -> bool:
+        """Serve a cached neighbouring-region frame instead of a late render.
+
+        Fires only for deadline-carrying requests that are already late or
+        whose render (per the EWMA estimate) is predicted to finish past
+        the deadline, and only when the cache holds a frame of the *same
+        pose* at another gaze region — the requested gaze then falls in
+        that frame's peripheral (coarser) LOD, which is the degrade the
+        policy trades against a missed deadline.
+
+        Every degrade also enqueues a **backfill**: a low-priority render
+        of the exact key, so a client dwelling in the region gets the
+        correct frame on a following request instead of staring at the
+        neighbour's frame forever.  The backfill rides the prefetch class
+        (real misses still preempt it) and its frame is accounted exactly
+        like a prefetch — cache-filling traffic, never client traffic.
+        """
+        if (
+            not self.serve_config.degrade_on_deadline
+            or self.frame_cache is None
+            or pending.t_deadline is None
+        ):
+            return False
+        now = time.perf_counter()
+        estimate = self._render_ewma_s
+        predicted = now + (estimate if estimate is not None else 0.0)
+        if now < pending.t_deadline and predicted <= pending.t_deadline:
+            return False
+        alternate = self.frame_cache.degraded_alternate(pending.key)
+        if alternate is None:
+            return False
+        if pending.key not in self._inflight_prefetch and self._queue is not None:
+            self._queue.put_nowait(
+                _Pending(
+                    request=pending.request,
+                    key=pending.key,
+                    future=None,
+                    t_submit=pending.t_submit,
+                    prefetch=True,
+                )
+            )
+            self._inflight_prefetch.add(pending.key)
+            self.degrade_backfills += 1
+        stamp = time.perf_counter()
+        self._resolve(
+            pending, alternate, cache_hit=False, batch_size=0, now=stamp,
+            degraded=True,
         )
+        for follower in followers.pop(pending.key, []):
+            self._resolve(
+                follower, alternate, cache_hit=False, batch_size=0, now=stamp,
+                degraded=True,
+            )
+        return True
 
     async def _render_batch(self, batch: Sequence[_Pending]) -> None:
         """Render a coalesced batch and resolve every pending future.
 
-        Requests are grouped twice: by cache key — the first request of
-        each key is rendered (at its own camera and gaze), later requests
-        of the same key are served from that frame, and a key that became
-        a hit while queued is served from cache — and then by **pose**:
-        each pose's misses go through one ``render_foveated_batch`` call
-        sharing the pose's projection prefix.  In ``exact_frames`` mode
-        the call is chunked to batch-of-one (bit-identical to per-request
-        renders — the segmented scans re-centre a global cumsum, so
-        multi-frame concatenation perturbs last-bit rounding); otherwise
-        the group rides one concatenated scan.  With a worker pool the
-        pose groups render concurrently in worker processes; inline they
-        run sequentially on the event loop.
+        Client requests are processed earliest-deadline-first and claim
+        key leadership before any prefetch (a speculation never defines a
+        client frame's gaze).  Requests are grouped twice: by cache key —
+        the first request of each key is rendered (at its own camera and
+        gaze), later requests of the same key are served from that frame,
+        and a key that became a hit while queued is served from cache —
+        and then by **pose**: each pose's misses go through one
+        ``render_foveated_batch`` call sharing the pose's projection
+        prefix.  Deadline-pressed requests may degrade to a cached
+        neighbouring-region frame instead of rendering late
+        (:meth:`_try_degrade`); overtaken or stale prefetches are dropped.
+        In ``exact_frames`` mode the render call is chunked to
+        batch-of-one (bit-identical to per-request renders); otherwise the
+        group rides one concatenated scan.  With a worker pool the pose
+        groups render concurrently in worker processes; inline they run
+        sequentially on the event loop.  Every group's requests are
+        stamped with that group's own completion time.
         """
+        clients = [p for p in batch if not p.prefetch]
+        speculative = [p for p in batch if p.prefetch]
+        clients.sort(
+            key=lambda p: (
+                p.t_deadline if p.t_deadline is not None else math.inf,
+                p.t_submit,
+            )
+        )
+
         to_render: list[_Pending] = []
         followers: dict[tuple, list[_Pending]] = {}
         hits: list[tuple[_Pending, FRRenderResult]] = []
-        for pending in batch:
+        for pending in clients:
             if pending.key in followers:
                 followers[pending.key].append(pending)
                 continue
@@ -450,6 +878,7 @@ class ServeLoop:
                 cached = self.frame_cache.peek(pending.key)
                 if cached is not None:
                     self.frame_cache.hits += 1
+                    self._note_prefetch_use(pending.key)
                     hits.append((pending, cached))
                     continue
             followers[pending.key] = []
@@ -462,48 +891,122 @@ class ServeLoop:
         for pending, result in hits:
             self._resolve(pending, result, cache_hit=True, batch_size=0, now=now)
 
-        # Pose groups: the camera fingerprint is the key's second element.
-        pose_groups: dict[tuple, list[_Pending]] = {}
-        for pending in to_render:
-            pose_groups.setdefault(pending.key[1], []).append(pending)
-        groups = list(pose_groups.values())
-        if self._pool is not None and groups:
-            outcomes = await self._dispatch_pool(groups)
-        else:
-            outcomes = self._dispatch_inline(groups)
+        # Drop-or-degrade: a request that cannot make its deadline anyway
+        # is served a cached neighbouring-region frame (coarser LOD at its
+        # gaze) instead of paying a render that lands late.
+        to_render = [p for p in to_render if not self._try_degrade(p, followers)]
 
-        rendered: list[tuple[_Pending, FRRenderResult]] = []
-        for group, outcome in zip(groups, outcomes):
+        # Prefetch leaders: only speculations that are still worth the
+        # render — not already rendered this batch by a client, not
+        # already cached, not stale.
+        prefetch_renders: list[_Pending] = []
+        for pending in speculative:
+            self._inflight_prefetch.discard(pending.key)
+            if (
+                pending.key in followers
+                or any(p.key == pending.key for p in prefetch_renders)
+                or (
+                    self.frame_cache is not None
+                    and self.frame_cache.contains(pending.key)
+                )
+                or (
+                    pending.t_deadline is not None
+                    and time.perf_counter() >= pending.t_deadline
+                )
+                or self.frame_cache is None
+            ):
+                self.prefetch_dropped += 1
+                continue
+            prefetch_renders.append(pending)
+
+        # Pose groups: the camera fingerprint is the key's second element.
+        # Client EDF order is preserved; prefetches ride at the back (and
+        # may share a pose group — and its prepared prefix — with misses).
+        # Pose groups are built per class: client misses never share a
+        # render call with speculations, so a client's latency can never
+        # include a prefetch frame's render time (a same-pose speculation
+        # still reuses the pose's prepared prefix via the view cache).
+        client_pose: dict[tuple, list[_Pending]] = {}
+        for pending in to_render:
+            client_pose.setdefault(pending.key[1], []).append(pending)
+        spec_pose: dict[tuple, list[_Pending]] = {}
+        for pending in prefetch_renders:
+            spec_pose.setdefault(pending.key[1], []).append(pending)
+        client_groups = list(client_pose.values())
+        spec_groups = list(spec_pose.values())
+        if self._pool is not None:
+            groups = client_groups + spec_groups
+            outcomes = await self._dispatch_pool(groups) if groups else []
+        else:
+            # Inline rendering blocks the event loop, so purely speculative
+            # pose groups yield to real traffic: if a client miss arrived
+            # while earlier groups rendered, the speculation goes back to
+            # the low-priority queue for a later cycle instead of making
+            # the miss wait out a render it does not need.
+            groups = list(client_groups)
+            outcomes = self._dispatch_inline(client_groups)
+            for group in spec_groups:
+                # Let pending client tasks run (inline renders starve the
+                # event loop) so an arrived miss is visible to the check.
+                await asyncio.sleep(0)
+                if self._queue is not None and self._queue.urgent_size > 0:
+                    for pending in group:
+                        self._inflight_prefetch.add(pending.key)
+                        self._queue.put_nowait(pending)
+                    continue
+                groups.append(group)
+                outcomes.extend(self._dispatch_inline([group]))
+
+        for group, (outcome, t_done) in zip(groups, outcomes):
+            client_renders = sum(1 for p in group if not p.prefetch)
             if isinstance(outcome, BaseException):
                 # A failing pose fails only its own group (and the
                 # followers waiting on those keys); other poses in the
                 # batch still render and hits were already served.
                 for pending in group:
-                    if not pending.future.done():
+                    if pending.prefetch:
+                        self.prefetch_failed += 1
+                        continue
+                    if pending.future is not None and not pending.future.done():
                         pending.future.set_exception(outcome)
-                    for follower in followers[pending.key]:
-                        if not follower.future.done():
+                    for follower in followers.get(pending.key, []):
+                        if (
+                            follower.future is not None
+                            and not follower.future.done()
+                        ):
                             follower.future.set_exception(outcome)
                 continue
-            self.batch_sizes.append(len(group))
-            rendered.extend(zip(group, outcome))
-
-        now = time.perf_counter()
-        for pending, result in rendered:
-            if self.frame_cache is not None:
-                self.frame_cache.misses += 1
-                self.frame_cache.put(pending.key, result)
-            self._resolve(
-                pending, result, cache_hit=False, batch_size=len(to_render), now=now
-            )
-            for follower in followers[pending.key]:
-                # A coalesced duplicate is a cache hit in every way that
-                # matters: it is served from the keyed frame, not rendered.
+            if client_renders:
+                self.batch_sizes.append(client_renders)
+            for pending, result in zip(group, outcome):
+                if pending.prefetch:
+                    # Speculative frames fill the cache but are invisible
+                    # to client-traffic accounting (no latency, no served
+                    # count, no cache hit/miss counters).
+                    self.frame_cache.put(pending.key, result)
+                    self._prefetched_keys.add(pending.key)
+                    self.prefetch_rendered += 1
+                    continue
                 if self.frame_cache is not None:
-                    self.frame_cache.hits += 1
+                    self.frame_cache.misses += 1
+                    self.frame_cache.put(pending.key, result)
                 self._resolve(
-                    follower, result, cache_hit=True, batch_size=0, now=now
+                    pending,
+                    result,
+                    cache_hit=False,
+                    batch_size=client_renders,
+                    now=t_done,
                 )
+                for follower in followers.get(pending.key, []):
+                    # A coalesced duplicate is a cache hit in every way
+                    # that matters: it is served from the keyed frame, not
+                    # rendered.
+                    if self.frame_cache is not None:
+                        self.frame_cache.hits += 1
+                    self._resolve(
+                        follower, result, cache_hit=True, batch_size=0,
+                        now=t_done,
+                    )
 
     def _resolve(
         self,
@@ -512,17 +1015,55 @@ class ServeLoop:
         cache_hit: bool,
         batch_size: int,
         now: float,
-    ) -> None:
+        degraded: bool = False,
+    ) -> FrameResponse:
         latency = now - pending.t_submit
         self.latencies_s.append(latency)
         self.requests_served += 1
-        if not pending.future.done():
-            pending.future.set_result(
-                FrameResponse(
-                    request=pending.request,
-                    result=result,
-                    cache_hit=cache_hit,
-                    batch_size=batch_size,
-                    latency_s=latency,
-                )
-            )
+        missed = pending.t_deadline is not None and now > pending.t_deadline
+        if missed:
+            self.deadline_misses += 1
+        else:
+            self.on_time += 1
+        if degraded:
+            self.degraded_served += 1
+        response = FrameResponse(
+            request=pending.request,
+            result=result,
+            cache_hit=cache_hit,
+            batch_size=batch_size,
+            latency_s=latency,
+            deadline_s=pending.deadline_s,
+            deadline_missed=missed,
+            degraded=degraded,
+        )
+        if pending.future is not None and not pending.future.done():
+            pending.future.set_result(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def deadline_stats(self) -> dict:
+        """Deadline-policy counters (``on_time + misses == served`` always)."""
+        served = self.requests_served
+        return {
+            "served": served,
+            "on_time": self.on_time,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_misses / served if served else 0.0,
+            "degraded_served": self.degraded_served,
+            "degraded_rate": self.degraded_served / served if served else 0.0,
+            "degrade_backfills": self.degrade_backfills,
+        }
+
+    def prefetch_stats(self) -> dict:
+        """Speculation counters (prefetch traffic is never client traffic)."""
+        return {
+            "enqueued": self.prefetch_enqueued,
+            "rendered": self.prefetch_rendered,
+            "dropped": self.prefetch_dropped,
+            "failed": self.prefetch_failed,
+            "useful": self.prefetch_useful,
+            "backlog": len(self._inflight_prefetch),
+        }

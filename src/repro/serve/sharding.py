@@ -261,10 +261,22 @@ class ShardRouter:
                     "cache_entries": (
                         len(shard.frame_cache) if shard.frame_cache else 0
                     ),
+                    "deadline_misses": shard.deadline_misses,
+                    "degraded_served": shard.degraded_served,
+                    "prefetch_useful": shard.prefetch_useful,
                 }
             )
+        served = sum(shard.requests_served for shard in self.shards)
+        misses = sum(shard.deadline_misses for shard in self.shards)
         return {
             "n_shards": len(self.shards),
             "imbalance_factor": self.imbalance_factor,
             "shards": per_shard,
+            # Cluster-wide deadline accounting: deadlines ride the
+            # FrameRequest through routing untouched, so the shard counters
+            # sum to exactly what a single loop would have recorded.
+            "requests_served": served,
+            "deadline_misses": misses,
+            "deadline_miss_rate": misses / served if served else 0.0,
+            "degraded_served": sum(s.degraded_served for s in self.shards),
         }

@@ -30,6 +30,11 @@ class WorkloadSpec:
     drawn with probability ``∝ 1/(k+1)^zipf_s``.  ``pose_dwell_frames``
     bounds how long a client stays on one pose before re-drawing — dwells
     give the trace the temporal locality real viewers have.
+
+    ``refresh_hz`` models the clients' display refresh: when set, every
+    request is stamped with a ``deadline_s`` frame budget of one refresh
+    period (``1/refresh_hz``), which the serve scheduler's deadline policy
+    consumes.  ``None`` (default) leaves requests best-effort.
     """
 
     n_clients: int = 4
@@ -38,6 +43,7 @@ class WorkloadSpec:
     zipf_s: float = 1.1
     pose_dwell_frames: tuple[int, int] = (4, 12)
     gaze_model: GazeModel = GazeModel()
+    refresh_hz: float | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -50,18 +56,26 @@ class WorkloadSpec:
             raise ValueError("pose_dwell_frames must be 1 <= lo <= hi")
         if self.zipf_s < 0:
             raise ValueError("zipf_s must be non-negative")
+        if self.refresh_hz is not None and self.refresh_hz <= 0:
+            raise ValueError("refresh_hz must be positive")
 
 
 @dataclasses.dataclass(frozen=True)
 class TraceRequest:
     """One timestamped request: client ``client_id`` wants pose ``pose_index``
-    with its gaze at ``gaze`` at simulated time ``time_s``."""
+    with its gaze at ``gaze`` at simulated time ``time_s``.
+
+    ``deadline_s`` is the request's frame budget in seconds from
+    submission (``None`` = best-effort), stamped from the workload's
+    ``refresh_hz`` when set.
+    """
 
     time_s: float
     client_id: int
     frame_index: int
     pose_index: int
     gaze: tuple[float, float]
+    deadline_s: float | None = None
 
 
 @dataclasses.dataclass
@@ -106,6 +120,7 @@ def generate_serve_trace(
         raise ValueError("need at least one camera")
     weights = zipf_weights(len(cameras), spec.zipf_s)
     width, height = cameras[0].width, cameras[0].height
+    deadline_s = 1.0 / spec.refresh_hz if spec.refresh_hz is not None else None
 
     requests: list[TraceRequest] = []
     for client in range(spec.n_clients):
@@ -132,6 +147,7 @@ def generate_serve_trace(
                         frame_index=frame,
                         pose_index=pose,
                         gaze=(float(gazes[frame, 0]), float(gazes[frame, 1])),
+                        deadline_s=deadline_s,
                     )
                 )
                 frame += 1

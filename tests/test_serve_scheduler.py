@@ -1,6 +1,8 @@
 """ServeLoop: micro-batching, caching, dedup, exactness, lifecycle."""
 
 import asyncio
+import time
+import types
 
 import numpy as np
 import pytest
@@ -16,9 +18,16 @@ from repro.serve import (
     region_center,
     quantize_gaze,
 )
+from repro.serve.scheduler import _Pending, _TwoClassQueue
 from repro.splat import random_model
 
 WIDTH, HEIGHT = 64, 48
+
+
+def make_pending(key, prefetch=False):
+    return _Pending(
+        request=None, key=key, future=None, t_submit=0.0, prefetch=prefetch
+    )
 
 
 @pytest.fixture(scope="module")
@@ -322,6 +331,179 @@ class TestFailureIsolation:
         assert hit.cache_hit and hit.result is hit_seed.result
         assert isinstance(failed, RuntimeError)
         assert other.result.image.shape == (HEIGHT, WIDTH, 3)
+
+
+class TestTwoClassQueue:
+    """The scheduler's urgent/prefetch queue: priority + cancellation safety."""
+
+    def test_urgent_always_dequeues_before_prefetch(self):
+        q = _TwoClassQueue()
+        speculation = make_pending(("spec",), prefetch=True)
+        real = make_pending(("real",))
+        q.put_nowait(speculation)
+        q.put_nowait(real)
+        assert q.get_nowait() is real  # the real miss preempts the speculation
+        assert q.get_nowait() is speculation
+        with pytest.raises(asyncio.QueueEmpty):
+            q.get_nowait()
+
+    def test_join_waits_for_task_done(self):
+        async def scenario():
+            q = _TwoClassQueue()
+            q.put_nowait(make_pending(("a",)))
+            join = asyncio.ensure_future(q.join())
+            await asyncio.sleep(0)
+            assert not join.done()
+            q.get_nowait()
+            q.task_done()
+            await asyncio.wait_for(join, timeout=1.0)
+
+        run(scenario())
+
+    def test_cancelled_getter_never_loses_the_item(self):
+        # The race the old asyncio.wait_for(queue.get(), ...) pattern lost:
+        # the item arrives, the getter is woken, and the cancellation lands
+        # before the getter resumes.  The item must survive — either
+        # recovered from the getter or still sitting in the queue.
+        async def scenario():
+            q = _TwoClassQueue()
+            item = make_pending(("k",))
+            getter = asyncio.ensure_future(q.get())
+            await asyncio.sleep(0)  # getter is now parked on its waiter
+            q.put_nowait(item)  # wakes the getter ...
+            # ... and we cancel before it gets to run: the race window.
+            recovered = await _TwoClassQueue.drain_getter(getter)
+            if recovered is None:
+                assert q.get_nowait() is item  # still queued, not dropped
+            else:
+                assert recovered is item
+
+        run(scenario())
+
+    def test_drain_getter_recovers_a_completed_get(self):
+        async def scenario():
+            q = _TwoClassQueue()
+            item = make_pending(("k",))
+            getter = asyncio.ensure_future(q.get())
+            await asyncio.sleep(0)
+            q.put_nowait(item)
+            await asyncio.sleep(0)  # let the getter resume and pop the item
+            assert getter.done()
+            assert await _TwoClassQueue.drain_getter(getter) is item
+            assert q.empty()
+
+        run(scenario())
+
+    def test_requeue_preserves_unfinished_count(self):
+        async def scenario():
+            q = _TwoClassQueue()
+            item = make_pending(("k",))
+            q.put_nowait(item)
+            q.requeue(q.get_nowait())  # recovered item goes back, same count
+            assert q.get_nowait() is item
+            q.task_done()  # exactly one task_done balances the one put
+            with pytest.raises(ValueError):
+                q.task_done()
+
+        run(scenario())
+
+
+class TestCollectRaceSafety:
+    def test_straggler_stress_never_loses_requests(
+        self, fmodel, cameras, monkeypatch
+    ):
+        # Stress the straggler wait's timeout/arrival race: many jittered
+        # clients against a short batch deadline.  With the lost-request
+        # race a dropped _Pending leaves its future unresolved forever and
+        # close() hangs on join() — the overall wait_for turns either
+        # failure mode into a test failure instead of a deadlock.
+        import repro.serve.scheduler as scheduler_mod
+
+        def fake_render(fmodel_arg, camera, gazes=None, **kwargs):
+            time.sleep(0.0005)
+            return [types.SimpleNamespace(image=None) for _ in gazes]
+
+        monkeypatch.setattr(scheduler_mod, "render_foveated_batch", fake_render)
+
+        async def scenario():
+            config = ServeConfig(
+                batch_budget=4, batch_deadline_s=0.002, cache_max_bytes=None
+            )
+            async with ServeLoop(fmodel, serve_config=config) as loop:
+                rng = np.random.default_rng(0)
+                delays = rng.uniform(0.0, 0.05, size=80)
+
+                async def client(i):
+                    await asyncio.sleep(float(delays[i]))
+                    return await loop.submit(
+                        FrameRequest(i, cameras[i % 2], (float(i % 60), 10.0))
+                    )
+
+                responses = await asyncio.gather(
+                    *(client(i) for i in range(80))
+                )
+                return loop, responses
+
+        loop, responses = run(asyncio.wait_for(scenario(), timeout=30.0))
+        assert len(responses) == 80
+        assert loop.requests_served == 80
+
+
+class TestLatencyAttribution:
+    def test_latency_stamped_per_pose_group(self, fmodel, cameras, monkeypatch):
+        # Regression: one perf_counter() stamp after ALL pose groups meant
+        # the first group's requests were charged the later groups' render
+        # time.  With an instrumented slow second pose, the fast pose's
+        # latency must not include the slow pose's 0.25 s.
+        import repro.serve.scheduler as scheduler_mod
+
+        real = scheduler_mod.render_foveated_batch
+        slow_camera = cameras[1]
+
+        def instrumented(fmodel_arg, camera, **kwargs):
+            if camera is slow_camera:
+                time.sleep(0.25)
+            return real(fmodel_arg, camera, **kwargs)
+
+        monkeypatch.setattr(scheduler_mod, "render_foveated_batch", instrumented)
+
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                return await asyncio.gather(
+                    loop.submit(FrameRequest(0, cameras[0], (20.0, 15.0))),
+                    loop.submit(FrameRequest(1, slow_camera, (20.0, 15.0))),
+                )
+
+        fast, slow = run(scenario())
+        assert slow.latency_s >= 0.25
+        assert fast.latency_s < 0.15
+
+    def test_batch_size_is_per_pose_group(self, fmodel, cameras):
+        # Regression: FrameResponse.batch_size reported the whole coalesced
+        # batch (3 here) while loop.batch_sizes recorded per-pose-group
+        # sizes; both must be per-group.
+        async def scenario():
+            async with ServeLoop(fmodel) as loop:
+                spec = loop.serve_config.grid
+                g1 = region_center(
+                    cameras[0], spec, quantize_gaze(cameras[0], (5.0, 5.0), spec)
+                )
+                g2 = region_center(
+                    cameras[0],
+                    spec,
+                    quantize_gaze(cameras[0], (60.0, 40.0), spec),
+                )
+                responses = await asyncio.gather(
+                    loop.submit(FrameRequest(0, cameras[0], g1)),
+                    loop.submit(FrameRequest(1, cameras[0], g2)),
+                    loop.submit(FrameRequest(2, cameras[1], (20.0, 15.0))),
+                )
+                return loop.batch_sizes, responses
+
+        batch_sizes, (a, b, c) = run(scenario())
+        assert sorted(batch_sizes) == [1, 2]
+        assert a.batch_size == 2 and b.batch_size == 2
+        assert c.batch_size == 1
 
 
 class TestConfigValidation:
