@@ -6,6 +6,7 @@
     python -m repro.cli foveate room
     python -m repro.cli accel flowers
     python -m repro.cli serve-sim kitchen --clients 4
+    python -m repro.cli tune --quick
 
 Each subcommand builds the relevant models at a small evaluation scale and
 prints a compact report; flags control scene size and resolution.
@@ -228,7 +229,11 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     serve_config = ServeConfig(
         batch_budget=args.batch_budget,
         cache_max_bytes=(
-            None if args.cache_mb <= 0 else int(args.cache_mb * (1 << 20))
+            "auto"
+            if args.cache_mb is None
+            else None
+            if args.cache_mb <= 0
+            else int(args.cache_mb * (1 << 20))
         ),
         workers=workers,
         refresh_hz=args.refresh_hz,
@@ -271,7 +276,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     if args.refresh_hz is not None:
         gap = schedule_gap(
             oracle_problem_from_trace(trace, n_requests=6),
-            batch_budget=args.batch_budget,
+            batch_budget=serve_config.batch_budget,
         )
         print(
             f"schedule oracle ({gap['n_requests']} requests): optimal "
@@ -279,6 +284,23 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             f"{gap['heuristic_misses']} (latency gap "
             f"{gap['latency_gap']:+.1%})"
         )
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .tune import autotune
+
+    report = autotune(
+        quick=args.quick,
+        seed=args.seed,
+        save=not args.no_save,
+        path=args.output,
+        include_serve=not args.no_serve,
+    )
+    for line in report.lines():
+        print(line)
+    if args.no_save:
+        print("(dry run: profile not saved)")
     return 0
 
 
@@ -330,6 +352,14 @@ def cmd_accel(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="tuning profile to consult for knob defaults (sets "
+        "$REPRO_TUNE_PROFILE for this run; 'off' disables profiles; "
+        "default: the per-host cache path — see `tune`)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("traces", help="list the 13 evaluation traces")
@@ -378,12 +408,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--zipf", type=float, default=1.1, help="pose-popularity skew exponent"
     )
     p_serve.add_argument(
-        "--batch-budget", type=int, default=8,
-        help="max requests coalesced into one batched render",
+        "--batch-budget", type=int, default=None,
+        help="max requests coalesced into one batched render (default: "
+        "$REPRO_SERVE_BATCH_BUDGET, the host tuning profile, or 8)",
     )
     p_serve.add_argument(
-        "--cache-mb", type=float, default=64.0,
-        help="frame-cache byte budget in MiB (<= 0 disables the cache)",
+        "--cache-mb", type=float, default=None,
+        help="frame-cache byte budget in MiB (<= 0 disables the cache; "
+        "default: $REPRO_FRAME_CACHE_BYTES, the host tuning profile, "
+        "or 64)",
     )
     p_serve.add_argument(
         "--workers", type=int, default=None,
@@ -412,6 +445,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = drain as fast as possible — the throughput mode; "
         "1 = real time, which is where prefetch gets idle gaps to run in)",
     )
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="autotune kernel/cache/scheduler knobs for this host and "
+        "persist them as its profile",
+    )
+    p_tune.add_argument(
+        "--quick", action="store_true", help="CI-sized sweeps (seconds, not minutes)"
+    )
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--no-save",
+        action="store_true",
+        help="measure and report without writing the profile",
+    )
+    p_tune.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the serve-tier sweeps (batch budget/deadline, cache bytes)",
+    )
+    p_tune.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the profile (default: $REPRO_TUNE_PROFILE "
+        "or the per-host cache path)",
+    )
     return parser
 
 
@@ -423,11 +483,19 @@ COMMANDS = {
     "foveate": cmd_foveate,
     "accel": cmd_accel,
     "serve-sim": cmd_serve_sim,
+    "tune": cmd_tune,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", None):
+        import os
+
+        os.environ["REPRO_TUNE_PROFILE"] = args.profile
+        from .tune import invalidate_profile_cache
+
+        invalidate_profile_cache()
     if getattr(args, "array_api", None):
         from .splat.backends import set_array_api
 

@@ -47,6 +47,7 @@ from .regions import (
     quantize_gaze,
     region_bounds,
     region_center,
+    resolved_cache_bytes,
     ring_area_deg2,
     ring_edges,
     ring_width_deg,
@@ -76,6 +77,8 @@ from .scheduler import (
     ServeConfig,
     ServeLoop,
     request_cache_key,
+    resolved_batch_budget,
+    resolved_batch_deadline,
 )
 from .sharding import HashRing, ShardRouter, default_shards
 from .workers import (
@@ -134,6 +137,9 @@ __all__ = [
     "replay_trace",
     "replay_trace_sharded",
     "request_cache_key",
+    "resolved_batch_budget",
+    "resolved_batch_deadline",
+    "resolved_cache_bytes",
     "ring_area_deg2",
     "ring_edges",
     "ring_width_deg",

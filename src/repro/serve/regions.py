@@ -30,6 +30,7 @@ import functools
 
 import numpy as np
 
+from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
 from ..hvs.eccentricity import PoolingModel
 from ..splat.cachekey import (
@@ -247,6 +248,33 @@ def result_nbytes(obj) -> int:
     return 0
 
 
+DEFAULT_FRAME_CACHE_BYTES = 64 << 20
+FRAME_CACHE_BYTES_ENV = "REPRO_FRAME_CACHE_BYTES"
+
+
+def _profile_knob(name: str):
+    """Tuned knob from the active host profile (lazy: tune is optional)."""
+    from ..tune.profile import profile_value
+
+    return profile_value(name)
+
+
+def resolved_cache_bytes(max_bytes: int | None = None) -> int | None:
+    """The effective frame-cache byte budget (``None`` = cache disabled).
+
+    Precedence: explicit ``max_bytes`` > ``$REPRO_FRAME_CACHE_BYTES`` >
+    the host tuning profile's ``cache_max_bytes`` (:mod:`repro.tune`) >
+    the built-in default (64 MiB).  An env value ``<= 0`` disables the
+    cache (returns ``None``); a malformed env value warns and falls
+    through to the profile-or-default.
+    """
+    if max_bytes is not None:
+        return int(max_bytes)
+    fallback = _profile_knob("cache_max_bytes") or DEFAULT_FRAME_CACHE_BYTES
+    value = env_int(FRAME_CACHE_BYTES_ENV, int(fallback))
+    return None if value <= 0 else value
+
+
 class FrameCache:
     """Byte-budgeted LRU of rendered foveated frames, keyed by gaze region.
 
@@ -264,9 +292,17 @@ class FrameCache:
 
     def __init__(
         self,
-        max_bytes: int = 64 << 20,
+        max_bytes: int | None = None,
         spec: GazeGridSpec | None = None,
     ) -> None:
+        if max_bytes is None:
+            max_bytes = resolved_cache_bytes()
+            if max_bytes is None:
+                raise ValueError(
+                    f"frame cache disabled by {FRAME_CACHE_BYTES_ENV} <= 0; "
+                    "serve without one via ServeConfig(cache_max_bytes=None) "
+                    "or pass an explicit max_bytes"
+                )
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes

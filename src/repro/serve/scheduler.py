@@ -68,17 +68,62 @@ import math
 import time
 from typing import Sequence
 
+from ..envknobs import env_float, env_int
 from ..foveation import FRRenderResult, render_foveated_batch
 from ..foveation.hierarchy import FoveatedModel
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig, ViewCache
 from .predictor import GazePredictor, PredictorConfig
-from .regions import FrameCache, GazeGridSpec, quantize_gaze
+from .regions import FrameCache, GazeGridSpec, quantize_gaze, resolved_cache_bytes
 from .workers import RenderWorkerPool
 
 # EWMA weight of the newest per-frame render measurement (the estimator
 # behind the degrade policy and the deadline-capped straggler wait).
 _RENDER_EWMA_ALPHA = 0.4
+
+DEFAULT_BATCH_BUDGET = 8
+DEFAULT_BATCH_DEADLINE_S = 0.0
+BATCH_BUDGET_ENV = "REPRO_SERVE_BATCH_BUDGET"
+BATCH_DEADLINE_ENV = "REPRO_SERVE_BATCH_DEADLINE"
+
+
+def _profile_knob(name: str):
+    """Tuned knob from the active host profile (lazy: tune is optional)."""
+    from ..tune.profile import profile_value
+
+    return profile_value(name)
+
+
+def resolved_batch_budget(budget: int | None = None) -> int:
+    """The effective batcher coalescing cap.
+
+    Precedence: explicit ``budget`` > ``$REPRO_SERVE_BATCH_BUDGET`` > the
+    host tuning profile's ``batch_budget`` > the built-in default (8).
+    A malformed or out-of-range env value warns and falls through.
+    """
+    if budget is not None:
+        if budget < 1:
+            raise ValueError("batch_budget must be at least 1")
+        return int(budget)
+    fallback = _profile_knob("batch_budget") or DEFAULT_BATCH_BUDGET
+    return env_int(BATCH_BUDGET_ENV, int(fallback), minimum=1)
+
+
+def resolved_batch_deadline(deadline_s: float | None = None) -> float:
+    """The effective batch-fill deadline in seconds.
+
+    Precedence: explicit ``deadline_s`` > ``$REPRO_SERVE_BATCH_DEADLINE``
+    > the host tuning profile's ``batch_deadline_s`` > the built-in
+    default (0 — batch only what is already pending).
+    """
+    if deadline_s is not None:
+        if deadline_s < 0:
+            raise ValueError("batch_deadline_s must be non-negative")
+        return float(deadline_s)
+    fallback = _profile_knob("batch_deadline_s")
+    if fallback is None:
+        fallback = DEFAULT_BATCH_DEADLINE_S
+    return env_float(BATCH_DEADLINE_ENV, float(fallback), minimum=0.0)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -182,6 +227,15 @@ class ServeConfig:
     ``cache_max_bytes = None`` disables the frame cache entirely (every
     request renders).
 
+    These three knobs default to *resolution sentinels* (``None`` /
+    ``"auto"``) handled in ``__post_init__`` with the repo-wide
+    precedence: explicit argument > environment variable
+    (``$REPRO_SERVE_BATCH_BUDGET`` / ``$REPRO_SERVE_BATCH_DEADLINE`` /
+    ``$REPRO_FRAME_CACHE_BYTES``) > the host tuning profile
+    (:mod:`repro.tune`) > built-in defaults (8 / 0 / 64 MiB).  A
+    constructed config always carries concrete values — resolution
+    happens once, not per request.
+
     ``refresh_hz`` derives the default per-request frame budget
     (``1/refresh_hz`` seconds — 72/90/120 Hz VR refreshes) for requests
     that carry no explicit ``deadline_s``; ``None`` leaves such requests
@@ -210,9 +264,9 @@ class ServeConfig:
     parallelize across cores.
     """
 
-    batch_budget: int = 8
-    batch_deadline_s: float = 0.0
-    cache_max_bytes: int | None = 64 << 20
+    batch_budget: int | None = None
+    batch_deadline_s: float | None = None
+    cache_max_bytes: int | str | None = "auto"
     grid: GazeGridSpec = GazeGridSpec()
     exact_frames: bool = True
     workers: int = 0
@@ -221,10 +275,26 @@ class ServeConfig:
     prefetch: PredictorConfig | None = None
 
     def __post_init__(self) -> None:
-        if self.batch_budget < 1:
-            raise ValueError("batch_budget must be at least 1")
-        if self.batch_deadline_s < 0:
-            raise ValueError("batch_deadline_s must be non-negative")
+        # Resolve the tunable knobs' sentinels once, at construction (the
+        # dataclass is frozen, hence object.__setattr__).  The resolvers
+        # re-raise on explicit out-of-range values, preserving the old
+        # constructor validation errors.
+        object.__setattr__(
+            self, "batch_budget", resolved_batch_budget(self.batch_budget)
+        )
+        object.__setattr__(
+            self,
+            "batch_deadline_s",
+            resolved_batch_deadline(self.batch_deadline_s),
+        )
+        if self.cache_max_bytes == "auto":
+            object.__setattr__(self, "cache_max_bytes", resolved_cache_bytes())
+        elif isinstance(self.cache_max_bytes, str):
+            raise ValueError(
+                "cache_max_bytes must be an int, None, or the sentinel 'auto'"
+            )
+        elif self.cache_max_bytes is not None and self.cache_max_bytes <= 0:
+            raise ValueError("cache_max_bytes must be positive (or None)")
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
         if self.refresh_hz is not None and self.refresh_hz <= 0:
@@ -403,8 +473,11 @@ class ServeLoop:
         else:
             self.frame_cache = None
         # Key computation lives on a FrameCache even when caching is
-        # disabled (keys still drive in-batch dedup).
-        self._keyer = self.frame_cache or FrameCache(spec=self.serve_config.grid)
+        # disabled (keys still drive in-batch dedup); the explicit
+        # max_bytes keeps the keyer constructible in that case.
+        self._keyer = self.frame_cache or FrameCache(
+            max_bytes=1, spec=self.serve_config.grid
+        )
         self.view_cache = view_cache or ViewCache(maxsize=256)
         self.predictor = (
             GazePredictor(self.serve_config.prefetch)

@@ -35,8 +35,8 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-import os
 
+from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
 from ..splat.cachekey import fingerprint_bytes
 from ..splat.renderer import RenderConfig
@@ -56,17 +56,13 @@ SHARDS_ENV = "REPRO_SERVE_SHARDS"
 
 
 def default_shards() -> int:
-    """The ``REPRO_SERVE_SHARDS`` default (1 = a single un-sharded loop)."""
-    raw = os.environ.get(SHARDS_ENV, "").strip()
-    if not raw:
-        return 1
-    try:
-        shards = int(raw)
-    except ValueError as exc:
-        raise ValueError(f"{SHARDS_ENV} must be an integer, got {raw!r}") from exc
-    if shards < 1:
-        raise ValueError(f"{SHARDS_ENV} must be at least 1, got {shards}")
-    return shards
+    """The ``REPRO_SERVE_SHARDS`` default (1 = a single un-sharded loop).
+
+    A malformed or out-of-range env value warns and falls back to 1 —
+    the same degrade-don't-crash contract as every other env knob
+    (:mod:`repro.envknobs`).
+    """
+    return env_int(SHARDS_ENV, 1, minimum=1)
 
 
 def _ring_hash(data: bytes) -> int:
@@ -170,9 +166,11 @@ class ShardRouter:
             )
             for _ in range(n_shards)
         ]
-        # Key computation only (cache entries live on the shards); shares
-        # the grid spec so router keys equal shard keys.
-        self._keyer = FrameCache(spec=self.serve_config.grid)
+        # Key computation only (cache entries live on the shards); the
+        # explicit max_bytes keeps it constructible when the resolved
+        # frame-cache budget is "disabled".  Shares the grid spec so
+        # router keys equal shard keys.
+        self._keyer = FrameCache(max_bytes=1, spec=self.serve_config.grid)
         self.shard_requests = [0] * n_shards
 
     @property

@@ -44,6 +44,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig
@@ -70,17 +71,13 @@ class StaleWorkerModelError(RuntimeError):
 
 
 def default_workers() -> int:
-    """The ``REPRO_SERVE_WORKERS`` default (0 = inline rendering)."""
-    raw = os.environ.get(WORKERS_ENV, "").strip()
-    if not raw:
-        return 0
-    try:
-        workers = int(raw)
-    except ValueError as exc:
-        raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from exc
-    if workers < 0:
-        raise ValueError(f"{WORKERS_ENV} must be non-negative, got {workers}")
-    return workers
+    """The ``REPRO_SERVE_WORKERS`` default (0 = inline rendering).
+
+    A malformed or negative env value warns and falls back to 0 — the
+    same degrade-don't-crash contract as every other env knob
+    (:mod:`repro.envknobs`).
+    """
+    return env_int(WORKERS_ENV, 0, minimum=0)
 
 
 def _mp_context(start: str | None = None):

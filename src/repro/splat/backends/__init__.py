@@ -1,6 +1,6 @@
 """Pluggable rasterization backends for the render engine.
 
-Three engines ship with the repo, listed in a capability-flagged registry
+Four engines ship with the repo, listed in a capability-flagged registry
 (:func:`backend_registry` / ``repro.cli --backend list``):
 
 - ``packed`` (default): flattens all tile–splat intersections of a frame
@@ -11,6 +11,10 @@ Three engines ship with the repo, listed in a capability-flagged registry
   a runtime-resolved array namespace (numpy default; torch / cupy when
   installed) — see :mod:`repro.splat.backends.kernels` and the
   ``REPRO_ARRAY_API`` env var / ``--array-api`` CLI flag.
+- ``packed-tiled``: the packed engine with very large frames split into
+  group-aligned cache-resident sub-chunk scans; the tile extent comes
+  from the per-host tuner (:mod:`repro.tune`), falling back to an LLC
+  cost-model prediction.
 - ``reference``: the original per-tile Python loop, kept as the regression
   oracle — ``packed`` must match it to within 1e-10.
 
@@ -41,7 +45,13 @@ from .kernels import (
     resolve_array_api_name,
 )
 from .kernels import set_default_array_api as _set_default_array_api
-from .packed import PackedBackend, span_chunk_budget
+from .packed import (
+    PackedBackend,
+    TiledPackedBackend,
+    span_chunk_budget,
+    split_spans,
+    tile_span_budget,
+)
 from .reference import ReferenceBackend
 from .segments import (
     QUAD_CUTOFF,
@@ -134,6 +144,17 @@ register_backend(
         "(REPRO_ARRAY_API / --array-api: numpy|torch|cupy)"
     ),
     device="xp",
+    has_forward_batch=True,
+    has_foveated_batch=True,
+)
+register_backend(
+    "packed-tiled",
+    TiledPackedBackend,
+    description=(
+        "cache-tiled span engine for very large frames (tile extent from "
+        "the tuner: $REPRO_TILE_SPAN_BUDGET / host profile / LLC model)"
+    ),
+    device="cpu",
     has_forward_batch=True,
     has_foveated_batch=True,
 )
@@ -309,6 +330,7 @@ __all__ = [
     "SegmentIndex",
     "SpanBatch",
     "TileLaneGeometry",
+    "TiledPackedBackend",
     "TorchNamespace",
     "Workspace",
     "array_api_installed",
@@ -330,7 +352,9 @@ __all__ = [
     "set_array_api",
     "set_default_backend",
     "span_chunk_budget",
+    "split_spans",
     "supports_forward_batch",
     "supports_foveated_batch",
     "tile_lane_geometry",
+    "tile_span_budget",
 ]

@@ -1217,3 +1217,32 @@ def batch_dominated_winners(
     winners = ws.take("winners", (ts, q), nsx.int64)
     nsx.segment_min(cand, seg, out=winners)
     return nsx.to_numpy(winners), has_any
+
+
+def batch_scan_bytes_per_span(tile_size: int = 16) -> int:
+    """Peak scan working-set bytes one span contributes to a batch chunk.
+
+    The residency unit behind ``span_chunk_budget`` and the tuner's cost
+    model (:mod:`repro.tune.model`): a batched forward keeps about five
+    ``(tile_size, R)`` float64 lane matrices live across one pass over the
+    spans (``quad``, ``alphas``, the log-transmittance scan buffer, its
+    exclusive shift, and the compositing scratch), two bool lane matrices
+    (the intersect-test ``keep`` and the early-termination ``active``
+    gates), plus O(1)-per-span scalars (span→pair index, pixel row, the
+    gathered colour row and group bookkeeping).  At the default 16-px
+    tiles this is ~0.8 KB per span — the measured 8k-span default budget
+    of PR 2 puts one chunk at ~6.5 MB, squarely inside the 12–32 MB LLCs
+    it was tuned on.
+
+    An estimate, not an audit: workspace slots persist between calls, so
+    the figure counts bytes *touched per scan pass* (what residency is
+    about), not allocated bytes.
+    """
+    f64_lane_matrices = 5
+    bool_lane_matrices = 2
+    per_span_scalars = 64
+    return (
+        f64_lane_matrices * tile_size * 8
+        + bool_lane_matrices * tile_size
+        + per_span_scalars
+    )

@@ -41,8 +41,6 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import os
-import warnings
 from typing import Any
 
 import numpy as np
@@ -75,6 +73,7 @@ from .kernels import (
 from .segments import (
     PackedSegments,
     RowSpans,
+    SegmentIndex,
     build_row_spans,
     build_segments,
     concat_spans,
@@ -131,42 +130,133 @@ def _scatter_composite(
 # each scan matrix around 1 MB (at the default 16-px tiles) — the best point
 # of a 6k–24k sweep across frame sizes and view counts — while still
 # amortizing the fixed per-frame kernel overhead across several views.
-# Tune per machine with ``REPRO_BATCH_SPAN_BUDGET``; device namespaces skip
-# the chunking entirely (no CPU cache to stay resident in).
+# ``repro.cli tune`` re-measures the knee per machine and persists it to a
+# host profile; ``REPRO_BATCH_SPAN_BUDGET`` overrides both.  Device
+# namespaces skip the chunking entirely (no CPU cache to stay resident in).
 DEFAULT_SPAN_CHUNK_BUDGET = 8192
 SPAN_BUDGET_ENV = "REPRO_BATCH_SPAN_BUDGET"
 
+# Per-view span budget of the cache-tiled ``packed-tiled`` backend: frames
+# whose span list exceeds it are scanned in group-aligned sub-chunks so the
+# scan temporaries of *one very large frame* stay LLC-resident (the span
+# chunk budget above only bounds how many small frames share a scan — a
+# single oversized frame still ran as one whole-frame scan).  The default
+# follows the tuner: host profile, else the LLC cost-model prediction,
+# else 4x the span chunk budget; ``REPRO_TILE_SPAN_BUDGET`` overrides.
+DEFAULT_TILE_SPAN_BUDGET = 4 * DEFAULT_SPAN_CHUNK_BUDGET
+TILE_BUDGET_ENV = "REPRO_TILE_SPAN_BUDGET"
 
-def span_chunk_budget() -> int:
-    """The per-chunk span budget, hardened against bad environment values.
 
-    Non-integer or non-positive ``REPRO_BATCH_SPAN_BUDGET`` settings fall
-    back to :data:`DEFAULT_SPAN_CHUNK_BUDGET` with a warning instead of
-    crashing the render path (or silently degenerating to zero-view
-    chunks).
+def _profile_knob(name: str) -> int | float | None:
+    """A knob from the persisted host profile (``None`` when untuned).
+
+    Lazy import: :mod:`repro.tune.profile` is a leaf module, but keeping it
+    off the backend import path means the render engine never pays for (or
+    cycles through) the tuner unless a knob is actually resolved.
     """
-    raw = os.environ.get(SPAN_BUDGET_ENV)
-    if raw is None or not raw.strip():
-        return DEFAULT_SPAN_CHUNK_BUDGET
-    try:
-        value = int(raw)
-    except ValueError:
-        warnings.warn(
-            f"ignoring non-integer {SPAN_BUDGET_ENV}={raw!r}; "
-            f"using the default of {DEFAULT_SPAN_CHUNK_BUDGET} spans",
-            RuntimeWarning,
-            stacklevel=2,
+    from ...tune.profile import profile_value
+
+    return profile_value(name)
+
+
+def span_chunk_budget(budget: int | None = None) -> int:
+    """The per-chunk span budget: explicit > env > host profile > default.
+
+    An explicit ``budget`` argument wins outright (callers that measured
+    their own workload).  Otherwise ``REPRO_BATCH_SPAN_BUDGET`` applies —
+    hardened: non-integer or non-positive settings fall back with a warning
+    instead of crashing the render path (or silently degenerating to
+    zero-view chunks) — then the host profile's tuned ``span_budget``
+    (see :mod:`repro.tune`), then :data:`DEFAULT_SPAN_CHUNK_BUDGET`.
+    """
+    if budget is not None:
+        if budget < 1:
+            raise ValueError(f"span budget must be positive, got {budget}")
+        return int(budget)
+    from ...envknobs import env_int
+
+    fallback = _profile_knob("span_budget") or DEFAULT_SPAN_CHUNK_BUDGET
+    return env_int(SPAN_BUDGET_ENV, int(fallback), minimum=1)
+
+
+@functools.lru_cache(maxsize=1)
+def _predicted_tile_spans() -> int | None:
+    """The LLC cost model's tile extent, clamped to a sane range.
+
+    Memoized: cache geometry cannot change within a process, and the
+    prediction sits on the per-render resolution path.
+    """
+    from ...tune.model import span_cost_model
+
+    model = span_cost_model()
+    if model is None:
+        return None
+    return min(max(model.predicted_span_budget, DEFAULT_SPAN_CHUNK_BUDGET), 1 << 20)
+
+
+def tile_span_budget(budget: int | None = None) -> int:
+    """Tile extent of the ``packed-tiled`` backend, in spans.
+
+    Precedence: explicit > ``REPRO_TILE_SPAN_BUDGET`` (hardened like
+    :func:`span_chunk_budget`) > host profile ``tile_spans`` > the LLC
+    cost-model prediction (:func:`repro.tune.model.span_cost_model`) >
+    :data:`DEFAULT_TILE_SPAN_BUDGET`.
+    """
+    if budget is not None:
+        if budget < 1:
+            raise ValueError(f"tile span budget must be positive, got {budget}")
+        return int(budget)
+    from ...envknobs import env_int
+
+    fallback = (
+        _profile_knob("tile_spans")
+        or _predicted_tile_spans()
+        or DEFAULT_TILE_SPAN_BUDGET
+    )
+    return env_int(TILE_BUDGET_ENV, int(fallback), minimum=1)
+
+
+def split_spans(spans: RowSpans, max_spans: int) -> list[RowSpans]:
+    """Split a span list into group-aligned pieces of ``<= max_spans`` spans.
+
+    Pieces cut only at ``(tile, row)`` group boundaries, so every segmented
+    scan over a piece sees exactly the whole groups it would see in the
+    full-frame scan — per-group depth order, group order and the
+    ``span_pair`` indexing into the *full* pair tables are all preserved,
+    which is what lets the tiled backend share one set of pair gather
+    tables across its sub-chunks.  A single group larger than ``max_spans``
+    becomes its own oversized piece (groups are never split: the
+    transmittance scan's re-centring happens at group starts).
+    """
+    if max_spans < 1:
+        raise ValueError(f"max_spans must be positive, got {max_spans}")
+    if spans.num_spans <= max_spans:
+        return [spans]
+    lens = spans.groups.lens
+    ends = spans.groups.starts + lens  # (Q,) exclusive span end of each group
+    pieces: list[RowSpans] = []
+    g0 = 0
+    s0 = 0
+    num_groups = spans.num_groups
+    while g0 < num_groups:
+        g1 = int(np.searchsorted(ends, s0 + max_spans, side="right"))
+        if g1 <= g0:  # one group alone exceeds the budget
+            g1 = g0 + 1
+        s1 = int(ends[g1 - 1])
+        pieces.append(
+            RowSpans(
+                seg=spans.seg,
+                span_pair=spans.span_pair[s0:s1],
+                span_tile=spans.span_tile[s0:s1],
+                span_y=spans.span_y[s0:s1],
+                groups=SegmentIndex.from_lengths(lens[g0:g1]),
+                group_tile=spans.group_tile[g0:g1],
+                group_y=spans.group_y[g0:g1],
+                group_has_tile_last=spans.group_has_tile_last[g0:g1],
+            )
         )
-        return DEFAULT_SPAN_CHUNK_BUDGET
-    if value <= 0:
-        warnings.warn(
-            f"ignoring non-positive {SPAN_BUDGET_ENV}={raw!r}; "
-            f"using the default of {DEFAULT_SPAN_CHUNK_BUDGET} spans",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return DEFAULT_SPAN_CHUNK_BUDGET
-    return value
+        g0, s0 = g1, s1
+    return pieces
 
 
 def forward_unpooled(
@@ -929,3 +1019,145 @@ class PackedBackend:
             raster_intersections_per_tile=raster_ints,
             blend_pixels=blend_pixels,
         )
+
+
+class TiledPackedBackend(PackedBackend):
+    """Cache-tiled span engine (``packed-tiled``): blocked scans for very
+    large frames.
+
+    The span chunk budget only bounds how many *small* frames share one
+    batched scan — a single frame whose span list already exceeds the
+    budget still ran as one whole-frame scan, streaming every segmented
+    operation from DRAM once its ``(tile_size, R)`` temporaries outgrow the
+    LLC.  This backend splits any such view into group-aligned sub-chunks
+    of at most :func:`tile_span_budget` spans (:func:`split_spans`) and
+    scans them back-to-back against one shared set of pair gather tables,
+    so each sub-chunk's scan working set stays cache-resident.  The tile
+    extent comes from the tuner: host profile, else the LLC cost-model
+    prediction, else the built-in default — ``REPRO_TILE_SPAN_BUDGET``
+    overrides.
+
+    Views at or under the budget take the inherited whole-frame path and
+    are bit-identical to ``packed``.  Tiled views match ``reference`` (and
+    ``packed``) to within the standard 1e-10 band, not bitwise: the
+    log-space transmittance scan re-centres at each sub-chunk start, which
+    moves last-ulp rounding exactly like the batch chunking does across
+    frames.  The backward and foveated paths are inherited untiled (the
+    foveated path already chunks frames to the span budget).
+    """
+
+    name = "packed-tiled"
+
+    def __init__(
+        self,
+        array_namespace: ArrayNamespace | None = None,
+        name: str | None = None,
+        tile_spans: int | None = None,
+    ) -> None:
+        super().__init__(array_namespace, name or "packed-tiled")
+        # Explicit per-instance tile extent (tests, the tuner's own sweep);
+        # ``None`` resolves env > profile > prediction > default per render.
+        self.tile_spans = tile_spans
+
+    def _forward_chunk(
+        self,
+        views: list[tuple[ProjectedGaussians, TileAssignment]],
+        spans_list: list[RowSpans],
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Route oversized views through the tiled scan, the rest unchanged.
+
+        Both :meth:`forward` (a batch of one) and :meth:`forward_batch`
+        (budget-flushed chunks) land here, so one override tiles every
+        standard-forward entry point.
+        """
+        if self.nsx.device != "cpu":
+            # No CPU cache to stay resident in — identical to ``packed``.
+            return super()._forward_chunk(
+                views, spans_list, num_points, background, collect_stats,
+                per_pixel_sort,
+            )
+        budget = tile_span_budget(self.tile_spans)
+        results: list[tuple[np.ndarray, np.ndarray | None] | None] = [None] * len(views)
+        small: list[int] = []
+        for i, (view, spans) in enumerate(zip(views, spans_list)):
+            if spans.num_spans > budget:
+                results[i] = self._forward_tiled_view(
+                    view, spans, num_points, background, collect_stats,
+                    per_pixel_sort, budget,
+                )
+            else:
+                small.append(i)
+        if small:
+            shared = super()._forward_chunk(
+                [views[i] for i in small], [spans_list[i] for i in small],
+                num_points, background, collect_stats, per_pixel_sort,
+            )
+            for i, res in zip(small, shared):
+                results[i] = res
+        return results  # type: ignore[return-value]
+
+    def _forward_tiled_view(
+        self,
+        view: tuple[ProjectedGaussians, TileAssignment],
+        spans: RowSpans,
+        num_points: int,
+        background: np.ndarray,
+        collect_stats: bool,
+        per_pixel_sort: bool,
+        budget: int,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One oversized view as a sequence of group-aligned sub-chunk scans.
+
+        The per-pair gather tables are built once for the whole view —
+        sub-chunk ``span_pair`` rows index the full tables (group-aligned
+        splitting preserves the pair row space), so tiling adds no
+        per-chunk gather of the O(pairs) tables, only the per-span work the
+        whole-frame scan would do anyway.  Sub-chunks scatter into disjoint
+        ``(tile, row)`` groups of one image, and the Val_i winner counts
+        accumulate per sub-chunk: group segments never straddle a cut, so
+        the union over sub-chunks is exactly the whole-frame result.
+        """
+        projected, assignment = view
+        grid = assignment.grid
+        image = _background_frame(grid, background)
+        dominated = np.zeros(num_points, dtype=np.int64) if collect_stats else None
+        ts = grid.tile_size
+        nsx, ws = self.nsx, self._ws
+        (
+            pair_means,
+            pair_conics,
+            pair_opacities,
+            pair_colors,
+            pair_pids,
+            pair_origin_x,
+            pair_depths,
+        ) = _batch_pair_tables([view], [spans])
+        for piece in split_spans(spans, budget):
+            batch = concat_spans([piece])
+            bt = BatchTables.build(
+                nsx, batch, ts, pair_means, pair_conics, pair_opacities,
+                pair_colors, pair_origin_x, pair_depths,
+            )
+            quad = batch_span_quad(nsx, ws, bt)
+            alphas = batch_span_alphas(nsx, ws, bt, quad)
+            perm = None
+            if per_pixel_sort:
+                perm = batch_per_pixel_permutation(nsx, bt, quad)
+                alphas = nsx.take_along_last(alphas, perm)
+            weights, final = batch_weights_final(nsx, ws, bt, alphas)
+            pixels = batch_composite(nsx, ws, bt, weights, final, background, perm)
+            idx, ok = _group_pixel_index(piece)
+            image.reshape(-1, 3)[idx[ok]] = pixels[ok]
+            if collect_stats:
+                lane_ok = piece.seg.geometry.lane_valid[piece.group_tile]
+                winners, has_any = batch_dominated_winners(
+                    nsx, ws, bt, weights, lane_ok, perm
+                )
+                if has_any.any():
+                    winner_pairs = batch.span_pair[winners[has_any]]
+                    np.add.at(dominated, pair_pids[winner_pairs], 1)
+        return image, dominated

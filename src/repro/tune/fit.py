@@ -1,0 +1,86 @@
+"""Knee fitting: the smallest setting within tolerance of peak throughput.
+
+Every knob the tuner sweeps has the same shape: throughput rises (batching
+amortizes fixed costs, caches absorb reuse) and then flattens or falls
+(working sets outgrow the cache, batching adds latency).  Picking the
+argmax would chase measurement noise along the plateau and always prefer
+the most resource-hungry setting; the MILC-style methodology (PAPERS.md,
+hep-lat/0112038) instead reports the *knee* — the cheapest setting whose
+throughput is within a small tolerance of the best observed.  That is
+what :func:`fit_knee` returns, preferring smaller settings on ties so
+budgets and byte caps stay as lean as the plateau allows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+__all__ = ["DEFAULT_TOLERANCE", "KneeFit", "fit_knee"]
+
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclasses.dataclass(frozen=True)
+class KneeFit:
+    """Outcome of one knee fit over ``(setting, throughput)`` samples."""
+
+    settings: tuple[float, ...]  # sorted ascending
+    metrics: tuple[float, ...]  # aligned with ``settings``
+    tolerance: float
+    selected: float
+    selected_metric: float
+    best: float
+    best_metric: float
+
+    @property
+    def relative(self) -> float:
+        """Selected throughput as a fraction of the best observed."""
+        return self.selected_metric / self.best_metric if self.best_metric else 1.0
+
+
+def fit_knee(
+    settings: Sequence[float],
+    metrics: Sequence[float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> KneeFit:
+    """Pick the smallest ``setting`` whose ``metric`` is within ``tolerance``
+    of the peak.
+
+    ``metrics`` are throughputs (higher is better).  Samples are sorted by
+    setting; duplicate settings keep their best metric.  By construction
+    the selection satisfies ``selected_metric >= (1 - tolerance) *
+    best_metric`` — the ≥0.95x-of-best guarantee ``bench_tune`` gates at
+    the default tolerance.
+    """
+    if len(settings) != len(metrics):
+        raise ValueError(
+            f"need one metric per setting, got {len(metrics)} metrics "
+            f"for {len(settings)} settings"
+        )
+    if not settings:
+        raise ValueError("need at least one (setting, metric) sample")
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    best_of: dict[float, float] = {}
+    for setting, metric in zip(settings, metrics):
+        setting, metric = float(setting), float(metric)
+        if setting not in best_of or metric > best_of[setting]:
+            best_of[setting] = metric
+    ordered = sorted(best_of)
+    values = [best_of[s] for s in ordered]
+    best_metric = max(values)
+    best = ordered[values.index(best_metric)]
+    cut = (1.0 - tolerance) * best_metric
+    selected, selected_metric = next(
+        (s, m) for s, m in zip(ordered, values) if m >= cut
+    )
+    return KneeFit(
+        settings=tuple(ordered),
+        metrics=tuple(values),
+        tolerance=tolerance,
+        selected=selected,
+        selected_metric=selected_metric,
+        best=best,
+        best_metric=best_metric,
+    )

@@ -6,6 +6,14 @@ the full suite stays fast despite the pure-Python renderer.
 
 from __future__ import annotations
 
+import os
+
+# Hermeticity: a developer's persisted tuning profile (~/.cache/repro/)
+# must not shift knob defaults under the suite.  Tests that exercise
+# profiles point REPRO_TUNE_PROFILE at tmp files explicitly; setdefault
+# keeps a deliberately exported profile (e.g. a CI leg) in effect.
+os.environ.setdefault("REPRO_TUNE_PROFILE", "off")
+
 import numpy as np
 import pytest
 

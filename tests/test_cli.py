@@ -136,7 +136,28 @@ class TestCommands:
         assert args.clients == 8
         assert args.batch_budget == 4
         assert args.zipf == 0.9
-        assert args.cache_mb == 64.0
+        # Both knobs now default to None -> resolved through the env /
+        # host-profile / built-in precedence at ServeConfig construction.
+        assert args.cache_mb is None
+        assert build_parser().parse_args(
+            ["serve-sim", "garden"]
+        ).batch_budget is None
+
+    def test_tune_flags(self):
+        # Parse-only: the sweep itself is exercised by tests/test_tune.py.
+        args = build_parser().parse_args(
+            ["tune", "--quick", "--seed", "3", "--no-serve", "--no-save"]
+        )
+        assert args.quick and args.seed == 3
+        assert args.no_serve and args.no_save
+        defaults = build_parser().parse_args(["tune"])
+        assert not defaults.quick and defaults.seed == 0
+        assert not defaults.no_save and defaults.output is None
+
+    def test_global_profile_flag(self):
+        args = build_parser().parse_args(["--profile", "off", "traces"])
+        assert args.profile == "off"
+        assert build_parser().parse_args(["traces"]).profile is None
 
     def test_accel(self, capsys):
         code = main(["accel", "bonsai", "--points", "200", "--width", "64",

@@ -217,12 +217,14 @@ class TestShardRouter:
         assert default_shards() == 1
         monkeypatch.setenv("REPRO_SERVE_SHARDS", "4")
         assert default_shards() == 4
+        # Env-knob hardening: bad values warn and fall back to the
+        # built-in default instead of crashing the serve path.
         monkeypatch.setenv("REPRO_SERVE_SHARDS", "0")
-        with pytest.raises(ValueError, match="at least 1"):
-            default_shards()
+        with pytest.warns(RuntimeWarning, match="REPRO_SERVE_SHARDS"):
+            assert default_shards() == 1
         monkeypatch.setenv("REPRO_SERVE_SHARDS", "many")
-        with pytest.raises(ValueError, match="REPRO_SERVE_SHARDS"):
-            default_shards()
+        with pytest.warns(RuntimeWarning, match="non-integer"):
+            assert default_shards() == 1
 
 
 class TestShardedReplay:
