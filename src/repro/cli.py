@@ -240,6 +240,11 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         prefetch=(
             PredictorConfig(horizon=args.prefetch) if args.prefetch > 0 else None
         ),
+        shm_bytes=(
+            "auto"
+            if args.shm_mb is None
+            else max(0, int(args.shm_mb * (1 << 20)))
+        ),
     )
 
     print(
@@ -422,6 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="render worker processes (default: $REPRO_SERVE_WORKERS or "
         "0 = render inline on the event loop)",
+    )
+    p_serve.add_argument(
+        "--shm-mb", type=float, default=None,
+        help="worker-pool shared-memory frame-transport arena in MiB "
+        "(<= 0 forces the pickle path; default: $REPRO_SERVE_SHM, the "
+        "host tuning profile, or 64)",
     )
     p_serve.add_argument(
         "--shards", type=int, default=None,

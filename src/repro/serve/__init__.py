@@ -22,6 +22,11 @@ The first layer above the render dispatchers that treats frames as
   stateful workers hold the model and a private view cache, only
   ``(camera, gazes)`` and frames cross the pipe, frames stay
   bit-identical to inline rendering;
+- :mod:`repro.serve.shm` — :class:`SlabArena` and :class:`FrameHandle`,
+  the zero-copy shared-memory frame transport under the worker pool:
+  workers write frame planes into leased arena slots and ship tiny
+  handles; the parent maps read-only views and leases free by reference
+  counting (``shm_bytes`` knob, automatic pickle fallback);
 - :mod:`repro.serve.sharding` — :class:`ShardRouter` and
   :class:`HashRing`: N serve shards on a virtual-node consistent-hash
   ring over ``(camera fp, gaze region)``, disjoint hot cache ranges per
@@ -81,11 +86,21 @@ from .scheduler import (
     resolved_batch_deadline,
 )
 from .sharding import HashRing, ShardRouter, default_shards
+from .shm import (
+    ArenaExhausted,
+    FrameHandle,
+    ShmTransportError,
+    SlabArena,
+    active_segments,
+    resolved_shm_bytes,
+    shm_available,
+)
 from .workers import (
     BrokenProcessPool,
     RenderWorkerPool,
     StaleWorkerModelError,
     default_workers,
+    resolved_worker_viewcache,
 )
 from .workload import (
     ServeTrace,
@@ -97,8 +112,10 @@ from .workload import (
 )
 
 __all__ = [
+    "ArenaExhausted",
     "BrokenProcessPool",
     "FrameCache",
+    "FrameHandle",
     "FrameRequest",
     "FrameResponse",
     "GazeGridSpec",
@@ -116,9 +133,12 @@ __all__ = [
     "ServeLoop",
     "ServeTrace",
     "ShardRouter",
+    "ShmTransportError",
+    "SlabArena",
     "StaleWorkerModelError",
     "TraceRequest",
     "WorkloadSpec",
+    "active_segments",
     "default_shards",
     "default_workers",
     "exhaustive_schedule",
@@ -140,6 +160,9 @@ __all__ = [
     "resolved_batch_budget",
     "resolved_batch_deadline",
     "resolved_cache_bytes",
+    "resolved_shm_bytes",
+    "resolved_worker_viewcache",
+    "shm_available",
     "ring_area_deg2",
     "ring_edges",
     "ring_width_deg",

@@ -234,7 +234,14 @@ def foveated_model_fingerprint(fmodel: FoveatedModel) -> tuple:
 
 
 def result_nbytes(obj) -> int:
-    """Approximate in-memory footprint of a cached result (array bytes)."""
+    """Approximate in-memory footprint of a cached result (array bytes).
+
+    This is *true plane nbytes*: a handle-backed frame from the worker
+    pool's shared-memory transport (:mod:`repro.serve.shm`) is a tree of
+    zero-copy views over the arena, and each view's ``nbytes`` is the
+    plane's real size — so the cache budget charges shm-resident frames
+    exactly what they pin, the same as heap-resident ones.
+    """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
@@ -419,6 +426,12 @@ class FrameCache:
 
         A frame larger than the whole budget is not cached (storing it
         would evict everything for an entry that can never be amortized).
+
+        Handle-backed frames (zero-copy views over the worker pool's
+        shared-memory arena) are stored as-is — no materializing copy;
+        evicting one drops the cache's reference, and the arena slot frees
+        when the last consumer lets go (the lease is tied to the result by
+        ``weakref.finalize``).
         """
         nbytes = result_nbytes(result)
         if nbytes > self.max_bytes:

@@ -64,6 +64,9 @@ class ReplayReport:
     deadline_miss_rate: float | None = None
     degraded_rate: float | None = None
     prefetch_stats: dict | None = None  # ServeLoop.prefetch_stats() when enabled
+    # RenderWorkerPool.transport_stats() of a worker-pool replay: bytes
+    # moved over the executor pipe vs via the shared-memory arena.
+    transport_stats: dict | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -103,6 +106,16 @@ class ReplayReport:
             out.append(
                 f"  prefetch: enqueued={s['enqueued']} rendered={s['rendered']} "
                 f"dropped={s['dropped']} useful={s['useful']}"
+            )
+        if self.transport_stats is not None:
+            s = self.transport_stats
+            out.append(
+                f"  transport ({s['transport']}): "
+                f"shm {s['bytes_via_shm'] / 1e6:.1f} MB"
+                f"/{s['frames_via_shm']} frames  "
+                f"pipe {s['bytes_via_pipe'] / 1e6:.1f} MB"
+                f"/{s['frames_via_pipe']} frames  "
+                f"fallbacks {s['shm_fallbacks']}"
             )
         if self.cache_stats is not None:
             s = self.cache_stats
@@ -195,7 +208,7 @@ def replay_trace(
     if time_scale < 0:
         raise ValueError("time_scale must be non-negative")
 
-    async def _run() -> tuple[ServeLoop, list[FrameResponse]]:
+    async def _run() -> None:
         async with ServeLoop(
             fmodel, config=config, serve_config=serve_config
         ) as loop:
@@ -218,11 +231,21 @@ def replay_trace(
 
             tasks = [asyncio.create_task(client(r)) for r in trace.requests]
             responses = list(await asyncio.gather(*tasks))
-            return loop, responses
+            # Parked in ``out`` instead of returned: on Python 3.11 the
+            # asyncio.Runner teardown ends up repr()ing the task result
+            # (via the SIGINT-handler uninstall), and repr of a response
+            # list renders every frame array — seconds of pure overhead.
+            # Transport stats are captured before the context exit: a loop
+            # that owns its pool drops the pool (and its counters) on close.
+            out["loop"] = loop
+            out["responses"] = responses
+            out["transport"] = loop.transport_stats()
 
+    out: dict = {}
     t_start = time.perf_counter()
-    loop, responses = asyncio.run(_run())
+    asyncio.run(_run())
     wall_s = time.perf_counter() - t_start
+    loop, responses, transport = out["loop"], out["responses"], out["transport"]
 
     histogram: dict[int, int] = {}
     for size in loop.batch_sizes:
@@ -238,6 +261,7 @@ def replay_trace(
         cache_stats=loop.frame_cache.stats() if loop.frame_cache else None,
     )
     report.deadline_miss_rate, report.degraded_rate = _deadline_rates(responses)
+    report.transport_stats = transport
     if loop.predictor is not None:
         report.prefetch_stats = loop.prefetch_stats()
     return responses, report
@@ -267,7 +291,7 @@ def replay_trace_sharded(
     if time_scale < 0:
         raise ValueError("time_scale must be non-negative")
 
-    async def _run() -> tuple[ShardRouter, list[FrameResponse]]:
+    async def _run() -> None:
         async with ShardRouter(
             fmodel,
             config=config,
@@ -294,11 +318,17 @@ def replay_trace_sharded(
 
             tasks = [asyncio.create_task(client(r)) for r in trace.requests]
             responses = list(await asyncio.gather(*tasks))
-            return router, responses
+            # Parked, not returned: see replay_trace for why returning the
+            # responses from the asyncio.run task repr()s every frame.
+            out["router"] = router
+            out["responses"] = responses
+            out["transport"] = router.transport_stats()
 
+    out: dict = {}
     t_start = time.perf_counter()
-    router, responses = asyncio.run(_run())
+    asyncio.run(_run())
     wall_s = time.perf_counter() - t_start
+    router, responses, transport = out["router"], out["responses"], out["transport"]
 
     histogram: dict[int, int] = {}
     for shard in router.shards:
@@ -321,6 +351,7 @@ def replay_trace_sharded(
         cache_stats=None,
     )
     report.shard_stats = router.stats()
+    report.transport_stats = transport
     report.deadline_miss_rate, report.degraded_rate = _deadline_rates(responses)
     if router.serve_config.prefetch is not None:
         totals: dict[str, int] = {}

@@ -75,6 +75,7 @@ from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig, ViewCache
 from .predictor import GazePredictor, PredictorConfig
 from .regions import FrameCache, GazeGridSpec, quantize_gaze, resolved_cache_bytes
+from .shm import resolved_shm_bytes
 from .workers import RenderWorkerPool
 
 # EWMA weight of the newest per-frame render measurement (the estimator
@@ -262,6 +263,15 @@ class ServeConfig:
     the identical dispatch, bit-identical in ``exact_frames`` mode), but
     ``submit()`` stays responsive during renders and pose groups
     parallelize across cores.
+
+    ``shm_bytes`` sizes the pool's shared-memory frame transport
+    (:mod:`repro.serve.shm`): workers write frame planes into one slab
+    arena and return tiny handles instead of pickling megabytes through
+    the executor pipe.  The ``"auto"`` sentinel resolves explicit
+    argument > ``$REPRO_SERVE_SHM`` > the host tuning profile's
+    ``shm_bytes`` > 64 MiB; ``0`` (or ``None``) disables the arena and
+    every frame rides the pickle path.  Transport never changes pixels —
+    an exhausted or unavailable arena falls back to pickle per frame.
     """
 
     batch_budget: int | None = None
@@ -273,6 +283,7 @@ class ServeConfig:
     refresh_hz: float | None = None
     degrade_on_deadline: bool = True
     prefetch: PredictorConfig | None = None
+    shm_bytes: int | str | None = "auto"
 
     def __post_init__(self) -> None:
         # Resolve the tunable knobs' sentinels once, at construction (the
@@ -299,6 +310,20 @@ class ServeConfig:
             raise ValueError("workers must be non-negative")
         if self.refresh_hz is not None and self.refresh_hz <= 0:
             raise ValueError("refresh_hz must be positive")
+        if self.shm_bytes == "auto":
+            object.__setattr__(self, "shm_bytes", resolved_shm_bytes())
+        elif isinstance(self.shm_bytes, str):
+            raise ValueError(
+                "shm_bytes must be an int, None, or the sentinel 'auto'"
+            )
+        elif self.shm_bytes is None:
+            object.__setattr__(self, "shm_bytes", 0)
+        else:
+            # Re-run the resolver on the explicit value for its validation
+            # (negative sizes raise, matching the other knob resolvers).
+            object.__setattr__(
+                self, "shm_bytes", resolved_shm_bytes(self.shm_bytes)
+            )
 
     @property
     def frame_budget_s(self) -> float | None:
@@ -520,6 +545,7 @@ class ServeLoop:
                 self.render_config,
                 workers=self.serve_config.workers,
                 exact_frames=self.serve_config.exact_frames,
+                shm_bytes=self.serve_config.shm_bytes,
             )
             self._owns_pool = True
         self._queue = _TwoClassQueue()
@@ -1140,3 +1166,11 @@ class ServeLoop:
             "useful": self.prefetch_useful,
             "backlog": len(self._inflight_prefetch),
         }
+
+    def transport_stats(self) -> dict | None:
+        """The worker pool's frame-transport accounting (``None`` inline).
+
+        Read it *before* :meth:`close` — a loop that owns its pool drops
+        the pool (and its counters) on close.
+        """
+        return self._pool.transport_stats() if self._pool is not None else None

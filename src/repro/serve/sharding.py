@@ -150,11 +150,15 @@ class ShardRouter:
         self._pool = worker_pool
         self._owns_pool = False
         if self._pool is None and self.serve_config.workers > 0:
+            # One pool — and therefore ONE transport arena — shared by all
+            # shards: render parallelism and shm capacity are bounded by
+            # the pool, not multiplied by the shard count.
             self._pool = RenderWorkerPool(
                 fmodel,
                 self.render_config,
                 workers=self.serve_config.workers,
                 exact_frames=self.serve_config.exact_frames,
+                shm_bytes=self.serve_config.shm_bytes,
             )
             self._owns_pool = True
         self.shards = [
@@ -240,6 +244,10 @@ class ShardRouter:
             return 1.0
         mean = total / len(self.shards)
         return max(self.shard_requests) / mean
+
+    def transport_stats(self) -> dict | None:
+        """The shared pool's frame-transport accounting (``None`` inline)."""
+        return self._pool.transport_stats() if self._pool is not None else None
 
     def stats(self) -> dict:
         """Per-shard serving counters plus the cluster imbalance factor."""

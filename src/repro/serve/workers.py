@@ -29,11 +29,23 @@ parameters.  Mutating a model mid-serve therefore *fails loudly* under a
 worker pool (restart the pool — or serve with ``workers=0`` — to pick up
 the mutation).
 
+Rendered frames travel back over the **shared-memory transport**
+(:mod:`repro.serve.shm`) when the pool's ``shm_bytes`` knob is non-zero:
+workers write frame planes into a leased arena slot and return only a
+small :class:`~repro.serve.shm.FrameHandle`; the parent maps the planes
+as zero-copy numpy views.  When the arena is exhausted (or SHM is
+unavailable) a frame falls back to the classic pickle path — identical
+pixels, just slower — and the pool counts the fallback in
+:meth:`RenderWorkerPool.transport_stats`.
+
 The start method defaults to ``fork`` where available (workers inherit
 the model without pickling it; the pool forks lazily on first render) and
 falls back to ``spawn``; ``REPRO_SERVE_MP_START`` overrides.
 ``REPRO_SERVE_WORKERS`` sets the default worker count for the CLI and
-benchmarks (0 = render inline on the event loop).
+benchmarks (0 = render inline on the event loop);
+``REPRO_WORKER_VIEWCACHE`` sizes each worker's private pose-prefix
+:class:`~repro.splat.renderer.ViewCache` (arg > env > tune profile >
+default 64, like every other knob).
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
@@ -48,16 +61,28 @@ from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig
+from .shm import (
+    ArenaExhausted,
+    FrameHandle,
+    ShmTransportError,
+    SlabArena,
+    export_result,
+    materialize_handle,
+    resolved_shm_bytes,
+)
 
 __all__ = [
     "BrokenProcessPool",
     "RenderWorkerPool",
     "StaleWorkerModelError",
     "default_workers",
+    "resolved_worker_viewcache",
 ]
 
 WORKERS_ENV = "REPRO_SERVE_WORKERS"
 MP_START_ENV = "REPRO_SERVE_MP_START"
+VIEWCACHE_ENV = "REPRO_WORKER_VIEWCACHE"
+DEFAULT_WORKER_VIEWCACHE = 64
 
 
 class StaleWorkerModelError(RuntimeError):
@@ -80,6 +105,24 @@ def default_workers() -> int:
     return env_int(WORKERS_ENV, 0, minimum=0)
 
 
+def resolved_worker_viewcache(maxsize: int | None = None) -> int:
+    """The effective per-worker ``ViewCache`` capacity (pose prefixes).
+
+    Precedence: explicit ``maxsize`` > ``$REPRO_WORKER_VIEWCACHE`` > the
+    host tuning profile's ``worker_viewcache`` > the built-in default
+    (64).  A malformed or out-of-range env value warns and falls through;
+    an explicit out-of-range argument raises.
+    """
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("worker viewcache maxsize must be at least 1")
+        return int(maxsize)
+    from ..tune.profile import profile_value
+
+    fallback = profile_value("worker_viewcache") or DEFAULT_WORKER_VIEWCACHE
+    return env_int(VIEWCACHE_ENV, int(fallback), minimum=1)
+
+
 def _mp_context(start: str | None = None):
     """The multiprocessing context the pool forks/spawns workers from."""
     start = start or os.environ.get(MP_START_ENV) or None
@@ -97,21 +140,49 @@ def _mp_context(start: str | None = None):
 _WORKER_STATE: dict | None = None
 
 
-def _worker_init(fmodel: FoveatedModel, config: RenderConfig, exact_frames: bool) -> None:
+def _worker_init(
+    fmodel: FoveatedModel,
+    config: RenderConfig,
+    exact_frames: bool,
+    viewcache: int = DEFAULT_WORKER_VIEWCACHE,
+    shm_name: str | None = None,
+    shm_lock=None,
+) -> None:
     from ..splat.renderer import ViewCache
     from .regions import foveated_model_fingerprint
 
+    # The viewcache size arrives resolved by the parent (arg > env > tune
+    # profile > default), so workers never consult env/profile themselves
+    # — spawn-started workers see the pool creator's knobs, not their own.
+    arena = None
+    if shm_name is not None and shm_lock is not None:
+        try:
+            arena = SlabArena.attach(shm_name, shm_lock)
+        except Exception:
+            # SHM transport degraded for this worker only: it renders and
+            # returns results over the pickle path; the parent counts the
+            # fallbacks.  Never fail worker startup over a transport knob.
+            arena = None
     global _WORKER_STATE
     _WORKER_STATE = {
         "fmodel": fmodel,
         "config": config,
         "exact_frames": exact_frames,
-        "cache": ViewCache(maxsize=64),
+        "cache": ViewCache(maxsize=viewcache),
         "model_fp": foveated_model_fingerprint(fmodel),
+        "arena": arena,
     }
 
 
 def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None):
+    """Render one pose group; frames ride the arena when there is room.
+
+    Returns a list with one entry per gaze: a
+    :class:`~repro.serve.shm.FrameHandle` for frames whose planes landed
+    in the shared arena, or the raw ``FRRenderResult`` (pickled through
+    the executor pipe) when the arena is absent or full — per frame, so a
+    momentarily full arena degrades one frame, not the whole batch.
+    """
     if _WORKER_STATE is None:  # pragma: no cover - initializer always runs
         raise RuntimeError("render worker used before initialization")
     if model_fp is not None and model_fp != _WORKER_STATE["model_fp"]:
@@ -122,7 +193,7 @@ def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None):
         )
     from ..foveation import render_foveated_batch
 
-    return render_foveated_batch(
+    results = render_foveated_batch(
         _WORKER_STATE["fmodel"],
         camera,
         gazes=list(gazes),
@@ -130,6 +201,16 @@ def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None):
         batch_size=1 if _WORKER_STATE["exact_frames"] else None,
         cache=_WORKER_STATE["cache"],
     )
+    arena = _WORKER_STATE["arena"]
+    if arena is None:
+        return list(results)
+    payload = []
+    for result in results:
+        try:
+            payload.append(export_result(arena, result))
+        except (ArenaExhausted, ShmTransportError):
+            payload.append(result)
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +235,8 @@ class RenderWorkerPool:
         workers: int = 1,
         exact_frames: bool = True,
         mp_start: str | None = None,
+        shm_bytes: int | None = None,
+        worker_viewcache: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -161,13 +244,43 @@ class RenderWorkerPool:
         self.render_config = config or RenderConfig()
         self.workers = workers
         self.exact_frames = exact_frames
+        ctx = _mp_context(mp_start)
+        self.shm_bytes = resolved_shm_bytes(shm_bytes)
+        self._arena: SlabArena | None = None
+        shm_name = shm_lock = None
+        if self.shm_bytes > 0:
+            try:
+                shm_lock = ctx.Lock()
+                self._arena = SlabArena.create(self.shm_bytes, shm_lock)
+                shm_name = self._arena.name
+            except Exception as exc:
+                warnings.warn(
+                    f"shared-memory frame transport unavailable ({exc}); "
+                    "worker frames will ride the pickle path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._arena = None
+                shm_name = shm_lock = None
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=workers,
-            mp_context=_mp_context(mp_start),
+            mp_context=ctx,
             initializer=_worker_init,
-            initargs=(self.fmodel, self.render_config, exact_frames),
+            initargs=(
+                self.fmodel,
+                self.render_config,
+                exact_frames,
+                resolved_worker_viewcache(worker_viewcache),
+                shm_name,
+                shm_lock,
+            ),
         )
         self.renders_dispatched = 0
+        self.frames_via_shm = 0
+        self.frames_via_pipe = 0
+        self.bytes_via_shm = 0
+        self.bytes_via_pipe = 0
+        self.shm_fallbacks = 0
 
     async def render(self, camera: Camera, gazes, model_fp: tuple | None = None):
         """Render one pose group ``(camera, gazes)`` in a worker process.
@@ -182,26 +295,89 @@ class RenderWorkerPool:
             raise RuntimeError("RenderWorkerPool is closed")
         self.renders_dispatched += 1
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
+        payload = await loop.run_in_executor(
             self._executor, _worker_render, camera, tuple(gazes), model_fp
         )
+        return [self._receive(item) for item in payload]
+
+    def _receive(self, item):
+        """Turn one worker payload entry into a result, counting transport.
+
+        A :class:`~repro.serve.shm.FrameHandle` maps to zero-copy views of
+        the arena (its lease is released when the rebuilt result is
+        collected); anything else already crossed the pipe as pickled
+        arrays.  Pipe bytes are counted as plane nbytes — the same measure
+        as the arena side — so the two columns compare transport volume,
+        not pickle framing overhead.
+        """
+        if isinstance(item, FrameHandle):
+            assert self._arena is not None
+            result = materialize_handle(self._arena, item)
+            self.frames_via_shm += 1
+            self.bytes_via_shm += item.nbytes
+            return result
+        from .regions import result_nbytes
+
+        self.frames_via_pipe += 1
+        self.bytes_via_pipe += result_nbytes(item)
+        if self._arena is not None:
+            self.shm_fallbacks += 1
+        return item
 
     def worker_pids(self) -> list[int]:
-        """PIDs of the live worker processes (spawned lazily on first render)."""
-        if self._executor is None or self._executor._processes is None:
+        """PIDs of the live worker processes (spawned lazily on first render).
+
+        Reads the executor's (private) process table defensively: if a
+        future stdlib moves it, this degrades to ``[]`` instead of
+        crashing ``stats()`` or a shutdown path.
+        """
+        executor = self._executor
+        if executor is None:
             return []
-        return [p.pid for p in self._executor._processes.values() if p.pid]
+        try:
+            processes = executor._processes
+            if not processes:
+                return []
+            return [p.pid for p in processes.values() if p.pid]
+        except (AttributeError, TypeError):  # pragma: no cover - stdlib drift
+            return []
+
+    def transport_stats(self) -> dict:
+        """Frame-transport accounting: bytes over the pipe vs via the arena.
+
+        ``transport`` is the pool's configured path (``"shm"`` when an
+        arena is live, else ``"pipe"``); ``shm_fallbacks`` counts frames
+        that had to ride the pipe *despite* a live arena (exhaustion).
+        ``arena`` carries the allocator occupancy, or ``None``.
+        """
+        return {
+            "transport": "shm" if self._arena is not None else "pipe",
+            "shm_bytes": self.shm_bytes,
+            "frames_via_shm": self.frames_via_shm,
+            "frames_via_pipe": self.frames_via_pipe,
+            "bytes_via_shm": self.bytes_via_shm,
+            "bytes_via_pipe": self.bytes_via_pipe,
+            "shm_fallbacks": self.shm_fallbacks,
+            "arena": self._arena.stats() if self._arena is not None else None,
+        }
 
     def close(self) -> None:
         """Shut the pool down, joining (or reaping) every worker process.
 
         Safe to call on a broken pool and idempotent; pending render
         futures are cancelled, so a closing serve loop never hangs on a
-        worker that will not answer.
+        worker that will not answer.  The transport arena is unlinked
+        unconditionally afterwards — clean, broken and crash-unwound pools
+        all release their ``/dev/shm`` segment here (frames already
+        materialized stay valid: their views pin the mapping, not the
+        name).
         """
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "RenderWorkerPool":
         return self

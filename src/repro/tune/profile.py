@@ -59,6 +59,10 @@ _KNOBS: dict[str, tuple[type, float]] = {
     "cache_max_bytes": (int, 1),
     "batch_budget": (int, 1),
     "batch_deadline_s": (float, 0.0),
+    # Serve worker-pool transport/worker knobs (PR 9): shm_bytes = 0 is a
+    # meaningful tuned value ("pickle beats the arena on this host").
+    "shm_bytes": (int, 0),
+    "worker_viewcache": (int, 1),
 }
 
 
@@ -71,6 +75,8 @@ class HostProfile:
     cache_max_bytes: int | None = None
     batch_budget: int | None = None
     batch_deadline_s: float | None = None
+    shm_bytes: int | None = None
+    worker_viewcache: int | None = None
     host: str = ""
     created: str = ""
     source: str = ""

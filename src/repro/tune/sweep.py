@@ -24,6 +24,10 @@ Swept knobs and their representative workloads:
   knee is the batching knee, not the cache's).
 - ``cache_max_bytes`` — the same replay with the cache enabled, byte
   budget per candidate.
+- ``shm_bytes`` — the transport sweep: a cache-disabled *worker-pool*
+  replay at frames large enough that moving them dominates (candidate
+  ``0`` is the pickle path, so "pickle wins on this host" persists as a
+  tuned ``shm_bytes = 0``).
 
 Every sweep is seeded and sized for seconds, not minutes (``quick=True``
 shrinks further for CI); measurements use best-of-``reps`` wall clock,
@@ -51,6 +55,7 @@ __all__ = [
     "sweep_batch_deadline",
     "sweep_batch_size",
     "sweep_cache_bytes",
+    "sweep_shm_bytes",
     "sweep_span_budget",
     "sweep_tile_spans",
 ]
@@ -449,6 +454,75 @@ def sweep_cache_bytes(
     )
 
 
+def _transport_workload(quick: bool, seed: int):
+    """A *large-frame* serve workload where frame transport is the lever.
+
+    Unlike :func:`_serve_workload` (sized so batching/caching dominate),
+    this one renders few splats at a big viewport: per-frame compute stays
+    small while each result carries megabytes of planes — the regime the
+    ``shm_bytes`` knob exists for.
+    """
+    import numpy as np
+
+    from ..foveation import uniform_foveated_model
+    from ..harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT
+    from ..scenes import trace_cameras
+    from ..serve import WorkloadSpec, generate_serve_trace
+    from ..splat import random_model
+
+    size = 256 if quick else 512
+    fmodel = uniform_foveated_model(
+        random_model(64, np.random.default_rng(seed)),
+        EVAL_REGION_LAYOUT,
+        EVAL_LEVEL_FRACTIONS,
+    )
+    _, poses = trace_cameras(
+        "kitchen", n_train=2, n_eval=2, width=size,
+        height=int(size * 0.75), seed=seed,
+    )
+    spec = WorkloadSpec(
+        n_clients=2 if quick else 3,
+        frames_per_client=4 if quick else 8,
+        zipf_s=1.1,
+        seed=seed,
+    )
+    return fmodel, generate_serve_trace(poses, spec)
+
+
+def sweep_shm_bytes(
+    quick: bool = False,
+    seed: int = 0,
+    tolerance: float = DEFAULT_TOLERANCE,
+    candidates: Sequence[int] | None = None,
+    workload=None,
+) -> SweepResult:
+    """Sweep the worker-pool transport arena on a large-frame replay.
+
+    Candidate ``0`` disables the arena (every frame pickles through the
+    executor pipe); the knee fit keeps the smallest arena on the
+    throughput plateau, so a host where pickle is within tolerance of the
+    arena peak tunes to ``shm_bytes = 0`` and skips the segment entirely.
+    """
+    from ..serve import ServeConfig
+
+    if candidates is None:
+        mb = 1 << 20
+        candidates = (
+            [0, 64 * mb] if quick else [0, 32 * mb, 128 * mb, 256 * mb]
+        )
+    fmodel, trace = workload or _transport_workload(quick, seed)
+
+    def measure(shm_bytes: float) -> float:
+        return _replay_throughput(
+            fmodel, trace,
+            ServeConfig(
+                workers=1, cache_max_bytes=None, shm_bytes=int(shm_bytes)
+            ),
+        )
+
+    return _run_sweep("shm_bytes", "requests/s", candidates, measure, tolerance)
+
+
 # ----------------------------------------------------------------------
 # The orchestrator
 # ----------------------------------------------------------------------
@@ -514,6 +588,7 @@ def autotune(
         results["cache_max_bytes"] = sweep_cache_bytes(
             quick, seed, tolerance, workload=workload
         )
+        results["shm_bytes"] = sweep_shm_bytes(quick, seed, tolerance)
 
     def selected(knob: str) -> float | None:
         return results[knob].fit.selected if knob in results else None
@@ -543,6 +618,9 @@ def autotune(
             int(selected("cache_max_bytes"))
             if "cache_max_bytes" in results
             else None
+        ),
+        shm_bytes=(
+            int(selected("shm_bytes")) if "shm_bytes" in results else None
         ),
         host=host_fingerprint(),
         created=datetime.datetime.now(datetime.timezone.utc).isoformat(
