@@ -497,6 +497,66 @@ def test_transport_shm_vs_pipe(transport_rows, quick):
         assert speedup >= TRANSPORT_GATE, f"shm speedup: {speedup:.2f}x"
 
 
+# Tracing overhead: the observability tentpole must be free when off.
+# The gate prices the *disabled* path — the null backend_span checks and
+# always-on stage-histogram observes every request pays even with tracing
+# off — via a primitive microbench, scaled by a generous per-request op
+# count, as a fraction of the measured untraced replay wall.  A direct
+# traced-off-vs-seed A/B would diff two runs of identical code and gate on
+# scheduler noise; this gate is deterministic in what it measures.  The
+# traced-on row is informational: span recording is allowed to cost.
+TRACE_OPS_PER_REQUEST = 32  # ~3 backend spans + ~6 scheduler probes, x3 slack
+TRACE_OVERHEAD_GATE = 0.02
+
+
+def test_tracing_overhead(replay_rows, quick):
+    from repro.obs.metrics import Histogram
+    from repro.obs.trace import backend_span
+
+    r = replay_rows
+    fmodel, trace = r["fmodel"], r["trace"]
+    n_requests = trace.n_requests
+
+    # Off-path primitive cost: a disabled backend_span (one global load +
+    # None check, null context manager) plus a log-bucket histogram observe.
+    hist = Histogram()
+    iters = 100_000
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        with backend_span("x"):
+            pass
+        hist.observe(1e-3)
+    per_op_s = (time.perf_counter() - t0) / iters
+    off_frac = per_op_s * TRACE_OPS_PER_REQUEST * n_requests / r["serve_s"]
+
+    # Traced-on replay (informational): full span recording + Chrome export.
+    traced_config = ServeConfig(batch_budget=BATCH_BUDGET, trace=True)
+    replay_trace(fmodel, trace, serve_config=traced_config)  # warm-up
+    t0 = time.perf_counter()
+    replay_trace(fmodel, trace, serve_config=traced_config)
+    traced_s = time.perf_counter() - t0
+
+    report(
+        f"Serve tracing overhead{r['tag']}",
+        [
+            f"{n_requests} requests; disabled-path primitive "
+            f"{per_op_s * 1e9:.0f} ns/op x {TRACE_OPS_PER_REQUEST} ops/req",
+            f"tracing off: {off_frac:.3%} of the {r['serve_s'] * 1e3:.1f} ms "
+            f"replay wall (gate <= {TRACE_OVERHEAD_GATE:.0%})",
+            f"tracing on (informational): {traced_s * 1e3:.1f} ms vs "
+            f"{r['serve_s'] * 1e3:.1f} ms off "
+            f"({traced_s / r['serve_s']:.2f}x)",
+        ],
+    )
+    # CI-gated: the disabled instrumentation path must stay within 2% of
+    # the untraced replay wall.
+    if quick or os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert off_frac <= TRACE_OVERHEAD_GATE, (
+            f"disabled-path tracing overhead {off_frac:.3%} "
+            f"> {TRACE_OVERHEAD_GATE:.0%}"
+        )
+
+
 def test_cache_misses_bit_identical(replay_rows):
     # Every miss the loop rendered matches a per-request render_foveated
     # call at the same (camera, gaze) — the serve tier adds scheduling and

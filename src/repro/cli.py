@@ -6,6 +6,8 @@
     python -m repro.cli foveate room
     python -m repro.cli accel flowers
     python -m repro.cli serve-sim kitchen --clients 4
+    python -m repro.cli serve-sim kitchen --trace /tmp/serve-trace.json
+    python -m repro.cli metrics kitchen
     python -m repro.cli tune --quick
 
 Each subcommand builds the relevant models at a small evaluation scale and
@@ -247,6 +249,12 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         ),
     )
 
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+
+        tracer = Tracer()
+
     print(
         f"serve-sim {args.trace}: {spec.n_clients} clients x "
         f"{spec.frames_per_client} frames over {len(poses)} poses "
@@ -258,12 +266,12 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     if shards > 1:
         _, serve_report = replay_trace_sharded(
             fmodel, trace, serve_config=serve_config, n_shards=shards,
-            time_scale=args.time_scale,
+            time_scale=args.time_scale, tracer=tracer,
         )
     else:
         _, serve_report = replay_trace(
             fmodel, trace, serve_config=serve_config,
-            time_scale=args.time_scale,
+            time_scale=args.time_scale, tracer=tracer,
         )
     for report in (naive_report, serve_report):
         for line in report.lines():
@@ -278,6 +286,12 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             f", imbalance {serve_report.shard_stats['imbalance_factor']:.2f}x"
         )
     print(summary + ")")
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(
+            f"trace: {len(tracer)} spans -> {args.trace_out} "
+            f"(load in Perfetto / chrome://tracing)"
+        )
     if args.refresh_hz is not None:
         gap = schedule_gap(
             oracle_problem_from_trace(trace, n_requests=6),
@@ -289,6 +303,50 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             f"{gap['heuristic_misses']} (latency gap "
             f"{gap['latency_gap']:+.1%})"
         )
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Replay a small serve workload and print the metrics registry."""
+    from .baselines import make_mini_splatting_d
+    from .foveation import uniform_foveated_model
+    from .harness import EVAL_LEVEL_FRACTIONS, EVAL_REGION_LAYOUT, quick_l1_model
+    from .obs import MetricsRegistry
+    from .scenes import trace_cameras
+    from .serve import (
+        ServeConfig,
+        WorkloadSpec,
+        generate_serve_trace,
+        replay_trace,
+        replay_trace_sharded,
+    )
+
+    setup = _setup(args)
+    dense = make_mini_splatting_d(setup.scene, seed=args.seed)
+    l1 = quick_l1_model(setup, dense, keep_fraction=args.keep)
+    fmodel = uniform_foveated_model(l1, EVAL_REGION_LAYOUT, EVAL_LEVEL_FRACTIONS)
+    _, poses = trace_cameras(
+        args.trace, n_train=4, n_eval=args.poses, width=args.width,
+        height=args.height, seed=args.seed,
+    )
+    trace = generate_serve_trace(
+        poses,
+        WorkloadSpec(
+            n_clients=args.clients,
+            frames_per_client=args.frames,
+            seed=args.seed,
+        ),
+    )
+    serve_config = ServeConfig(workers=args.workers)
+    registry = MetricsRegistry()
+    if args.shards > 1:
+        replay_trace_sharded(
+            fmodel, trace, serve_config=serve_config, n_shards=args.shards,
+            registry=registry,
+        )
+    else:
+        replay_trace(fmodel, trace, serve_config=serve_config, registry=registry)
+    print(registry.render_prometheus(), end="")
     return 0
 
 
@@ -456,6 +514,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = drain as fast as possible — the throughput mode; "
         "1 = real time, which is where prefetch gets idle gaps to run in)",
     )
+    p_serve.add_argument(
+        "--trace", dest="trace_out", default=None, metavar="PATH",
+        help="record the replay's request lifecycle and write it as a "
+        "Chrome/Perfetto trace-event JSON file (worker render spans are "
+        "stitched into the same timeline)",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="replay a small serve workload and print the unified metrics "
+        "registry in Prometheus text exposition format",
+    )
+    _common_args(p_metrics)
+    p_metrics.add_argument("--keep", type=float, default=0.4, help="L1 keep fraction")
+    p_metrics.add_argument("--clients", type=int, default=3, help="concurrent clients")
+    p_metrics.add_argument(
+        "--frames", type=int, default=8, help="frames requested per client"
+    )
+    p_metrics.add_argument("--poses", type=int, default=4, help="shared pose-set size")
+    p_metrics.add_argument(
+        "--workers", type=int, default=0, help="render worker processes"
+    )
+    p_metrics.add_argument(
+        "--shards", type=int, default=1, help="consistent-hash serve shards"
+    )
 
     p_tune = sub.add_parser(
         "tune",
@@ -494,6 +577,7 @@ COMMANDS = {
     "foveate": cmd_foveate,
     "accel": cmd_accel,
     "serve-sim": cmd_serve_sim,
+    "metrics": cmd_metrics,
     "tune": cmd_tune,
 }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import warnings
 
-__all__ = ["env_float", "env_int"]
+__all__ = ["env_flag", "env_float", "env_int"]
 
 
 def _warn(name: str, raw: str, problem: str, fallback: object) -> None:
@@ -53,6 +53,29 @@ def env_int(
         _warn(name, raw, problem, fallback)
         return fallback
     return value
+
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def env_flag(name: str, fallback: bool = False) -> bool:
+    """Boolean knob ``name``, or ``fallback`` when unset/blank/malformed.
+
+    Accepts the usual spellings case-insensitively (``1/true/yes/on`` and
+    ``0/false/no/off``); anything else warns and falls back, like the
+    numeric knobs.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return fallback
+    word = raw.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    _warn(name, raw, "non-boolean", fallback)
+    return fallback
 
 
 def env_float(

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
+from ..obs.metrics import Counter, MetricsRegistry
 from ..hvs.eccentricity import PoolingModel
 from ..splat.cachekey import (
     camera_fingerprint,
@@ -314,9 +315,12 @@ class FrameCache:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
         self.spec = spec or GazeGridSpec()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Int-like metric objects (repro.obs) so existing `cache.hits += 1`
+        # call sites and int comparisons keep working while a registry can
+        # attach to the live values via register_metrics().
+        self.hits = Counter()
+        self.misses = Counter()
+        self.evictions = Counter()
         self.current_bytes = 0
         self._entries: dict[tuple, tuple[object, int]] = {}
 
@@ -455,12 +459,35 @@ class FrameCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Counters snapshot for reports: hits/misses/evictions/bytes/entries."""
+        """Counters snapshot for reports: hits/misses/evictions/bytes/entries.
+
+        A thin view over the same :class:`~repro.obs.metrics.Counter`
+        objects :meth:`register_metrics` exposes — plain ints here, so
+        the dict stays JSON-safe and cannot drift from the registry.
+        """
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
             "entries": len(self._entries),
             "bytes": self.current_bytes,
             "hit_rate": self.hit_rate,
         }
+
+    def register_metrics(self, registry: MetricsRegistry, **labels: str) -> None:
+        """Attach this cache's live counters/gauges onto ``registry``.
+
+        The counters are the very objects :meth:`get`/:meth:`put` mutate
+        (no copies, no polling), plus callback gauges for occupancy.
+        """
+        registry.register("frame_cache_hits", self.hits, help="frame-cache exact-key hits", **labels)
+        registry.register("frame_cache_misses", self.misses, help="frame-cache misses", **labels)
+        registry.register(
+            "frame_cache_evictions", self.evictions, help="frame-cache LRU evictions", **labels
+        )
+        registry.gauge_fn(
+            "frame_cache_bytes", lambda: self.current_bytes, help="cached frame payload bytes", **labels
+        )
+        registry.gauge_fn(
+            "frame_cache_entries", lambda: len(self._entries), help="cached frame count", **labels
+        )

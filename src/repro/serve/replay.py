@@ -36,6 +36,8 @@ import numpy as np
 
 from ..foveation import FRRenderResult, render_foveated
 from ..foveation.hierarchy import FoveatedModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..splat.renderer import RenderConfig
 from .scheduler import FrameRequest, FrameResponse, ServeConfig, ServeLoop
 from .sharding import ShardRouter
@@ -67,6 +69,13 @@ class ReplayReport:
     # RenderWorkerPool.transport_stats() of a worker-pool replay: bytes
     # moved over the executor pipe vs via the shared-memory arena.
     transport_stats: dict | None = None
+    # Per-stage latency breakdown (queue/render/total) from the loop's
+    # log-bucket histograms; sharded replays merge the shards' histograms
+    # before taking percentiles (never averaging per-shard percentiles).
+    stage_breakdown: dict | None = None
+    # repro.obs.MetricsRegistry.snapshot() taken at the end of the replay
+    # when a registry was attached (reports ride the registry).
+    metrics: dict | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -92,6 +101,16 @@ class ReplayReport:
                 f"  batches (size:count): {histogram}  "
                 f"(mean {self.mean_batch_size:.2f})"
             )
+        if self.stage_breakdown:
+            for stage in ("queue", "render", "total"):
+                s = self.stage_breakdown.get(stage)
+                if s is None or not s["count"]:
+                    continue
+                out.append(
+                    f"  stage {stage:6s} ms: mean {s['mean_ms']:.2f}  "
+                    f"p50 {s['p50_ms']:.2f}  p90 {s['p90_ms']:.2f}  "
+                    f"p99 {s['p99_ms']:.2f}  (n={s['count']})"
+                )
         if self.deadline_miss_rate is not None:
             degraded = (
                 f"  degraded {self.degraded_rate:.1%}"
@@ -197,6 +216,9 @@ def replay_trace(
     config: RenderConfig | None = None,
     serve_config: ServeConfig | None = None,
     time_scale: float = 0.0,
+    tracer: Tracer | None = None,
+    clock=None,
+    registry: MetricsRegistry | None = None,
 ) -> tuple[list[FrameResponse], ReplayReport]:
     """Serve a whole trace through a fresh :class:`ServeLoop`.
 
@@ -204,14 +226,27 @@ def replay_trace(
     ``time_scale`` stretches the trace's timestamps into real waits (0 —
     the default — replays as fast as the loop can drain, which is the
     throughput-measurement mode).  Responses come back in request order.
+
+    ``tracer`` (or ``serve_config.trace``) records the request lifecycle
+    into a Chrome-trace-exportable span buffer; ``clock`` substitutes the
+    loop's monotonic clock (deterministic tests); ``registry`` attaches
+    the loop's counters/gauges/histograms to a
+    :class:`~repro.obs.metrics.MetricsRegistry` and stores its snapshot
+    on the report.
     """
     if time_scale < 0:
         raise ValueError("time_scale must be non-negative")
 
     async def _run() -> None:
         async with ServeLoop(
-            fmodel, config=config, serve_config=serve_config
+            fmodel,
+            config=config,
+            serve_config=serve_config,
+            tracer=tracer,
+            clock=clock,
         ) as loop:
+            if registry is not None:
+                loop.register_metrics(registry)
             aio = asyncio.get_running_loop()
             t0 = aio.time()
 
@@ -264,6 +299,9 @@ def replay_trace(
     report.transport_stats = transport
     if loop.predictor is not None:
         report.prefetch_stats = loop.prefetch_stats()
+    report.stage_breakdown = loop.stage_breakdown()
+    if registry is not None:
+        report.metrics = registry.snapshot()
     return responses, report
 
 
@@ -275,6 +313,9 @@ def replay_trace_sharded(
     n_shards: int = 2,
     vnodes: int = 64,
     time_scale: float = 0.0,
+    tracer: Tracer | None = None,
+    clock=None,
+    registry: MetricsRegistry | None = None,
 ) -> tuple[list[FrameResponse], ReplayReport]:
     """Serve a whole trace through a fresh N-shard :class:`ShardRouter`.
 
@@ -287,6 +328,13 @@ def replay_trace_sharded(
     because routing granularity equals cache-key granularity, an
     eviction-free trace's hit pattern (and frame checksum) matches the
     single-loop replay exactly, for any shard count.
+
+    Stage latency percentiles in the report come from the shards' *merged*
+    log-bucket histograms (``router.stage_breakdown()``) — never from
+    averaging per-shard percentiles, which is wrong whenever shards see
+    different load.  ``tracer``/``clock``/``registry`` behave as in
+    :func:`replay_trace`; all shards share one tracer, with per-shard
+    batcher lanes.
     """
     if time_scale < 0:
         raise ValueError("time_scale must be non-negative")
@@ -298,7 +346,11 @@ def replay_trace_sharded(
             serve_config=serve_config,
             n_shards=n_shards,
             vnodes=vnodes,
+            tracer=tracer,
+            clock=clock,
         ) as router:
+            if registry is not None:
+                router.register_metrics(registry)
             aio = asyncio.get_running_loop()
             t0 = aio.time()
 
@@ -359,6 +411,9 @@ def replay_trace_sharded(
             for field, value in shard.prefetch_stats().items():
                 totals[field] = totals.get(field, 0) + value
         report.prefetch_stats = totals
+    report.stage_breakdown = router.stage_breakdown()
+    if registry is not None:
+        report.metrics = registry.snapshot()
     return responses, report
 
 

@@ -68,9 +68,11 @@ import math
 import time
 from typing import Sequence
 
-from ..envknobs import env_float, env_int
+from ..envknobs import env_flag, env_float, env_int
 from ..foveation import FRRenderResult, render_foveated_batch
 from ..foveation.hierarchy import FoveatedModel
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.trace import Tracer, set_active_tracer
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig, ViewCache
 from .predictor import GazePredictor, PredictorConfig
@@ -86,6 +88,7 @@ DEFAULT_BATCH_BUDGET = 8
 DEFAULT_BATCH_DEADLINE_S = 0.0
 BATCH_BUDGET_ENV = "REPRO_SERVE_BATCH_BUDGET"
 BATCH_DEADLINE_ENV = "REPRO_SERVE_BATCH_DEADLINE"
+TRACE_ENV = "REPRO_TRACE"
 
 
 def _profile_knob(name: str):
@@ -272,6 +275,14 @@ class ServeConfig:
     ``shm_bytes`` > 64 MiB; ``0`` (or ``None``) disables the arena and
     every frame rides the pickle path.  Transport never changes pixels —
     an exhausted or unavailable arena falls back to pickle per frame.
+
+    ``trace`` enables per-request span tracing (:mod:`repro.obs.trace`):
+    the loop builds (or is handed) a :class:`~repro.obs.Tracer` and
+    records the full request lifecycle — queue wait, batch formation,
+    dedup, per-pose-group renders with backend-internal stages, worker
+    spans stitched across the executor pipe — exportable as
+    Chrome/Perfetto JSON.  ``None`` defers to ``$REPRO_TRACE``; off by
+    default, and the disabled path is a no-op (CI-gated ≤2% overhead).
     """
 
     batch_budget: int | None = None
@@ -284,6 +295,7 @@ class ServeConfig:
     degrade_on_deadline: bool = True
     prefetch: PredictorConfig | None = None
     shm_bytes: int | str | None = "auto"
+    trace: bool | None = None
 
     def __post_init__(self) -> None:
         # Resolve the tunable knobs' sentinels once, at construction (the
@@ -324,6 +336,8 @@ class ServeConfig:
             object.__setattr__(
                 self, "shm_bytes", resolved_shm_bytes(self.shm_bytes)
             )
+        if self.trace is None:
+            object.__setattr__(self, "trace", env_flag(TRACE_ENV, False))
 
     @property
     def frame_budget_s(self) -> float | None:
@@ -484,10 +498,37 @@ class ServeLoop:
         frame_cache: FrameCache | None = None,
         view_cache: ViewCache | None = None,
         worker_pool: RenderWorkerPool | None = None,
+        tracer: Tracer | None = None,
+        clock=None,
+        trace_tid: int = 0,
     ) -> None:
         self.fmodel = fmodel
         self.render_config = config or RenderConfig()
         self.serve_config = serve_config or ServeConfig()
+        # The clock seam: every lifecycle stamp (submit, deadlines, render
+        # timing, prefetch expiry) reads this callable, so tests and
+        # replays can drive the loop on a fake deterministic clock instead
+        # of sleeping.  Must be monotonic; defaults to time.perf_counter.
+        self._clock = clock if clock is not None else time.perf_counter
+        if tracer is None and self.serve_config.trace:
+            tracer = Tracer(clock=self._clock)
+        self.tracer = tracer
+        # The lane this loop's batcher-side spans render on (shard index
+        # under a router; request spans ride per-client lanes).
+        self._trace_tid = trace_tid
+        if tracer is not None:
+            tracer.name_thread(trace_tid, f"batcher {trace_tid}" if trace_tid else "batcher")
+        self._traced_clients: set[int] = set()
+        # Per-stage latency histograms (log-bucket, mergeable across
+        # shards): queue wait for rendered misses, per-request render
+        # time, and total client latency.  Always on — a handful of
+        # observes per request — so replay reports carry a stage
+        # breakdown with tracing off.
+        self.stage_histograms: dict[str, Histogram] = {
+            "queue": Histogram(),
+            "render": Histogram(),
+            "total": Histogram(),
+        }
         if frame_cache is not None:
             self.frame_cache: FrameCache | None = frame_cache
         elif self.serve_config.cache_max_bytes is not None:
@@ -617,7 +658,7 @@ class ServeLoop:
         """Serve one request: synchronously on a cache hit, batched otherwise."""
         if self._queue is None:
             raise RuntimeError("ServeLoop is not running (use `async with`)")
-        t0 = time.perf_counter()
+        t0 = self._clock()
         key = self._request_key(request)
         deadline_s = self._effective_deadline(request)
         t_deadline = t0 + deadline_s if deadline_s is not None else None
@@ -637,7 +678,7 @@ class ServeLoop:
                     result,
                     cache_hit=True,
                     batch_size=0,
-                    now=time.perf_counter(),
+                    now=self._clock(),
                 )
                 self._maybe_prefetch(request, key, t0)
                 return response
@@ -743,7 +784,7 @@ class ServeLoop:
         if not deadlines:
             return remaining
         estimate = self._render_ewma_s or 0.0
-        slack = min(deadlines) - time.perf_counter() - estimate
+        slack = min(deadlines) - self._clock() - estimate
         return min(remaining, slack)
 
     async def _collect(self) -> list[_Pending]:
@@ -762,6 +803,7 @@ class ServeLoop:
         assert self._queue is not None
         budget = self.serve_config.batch_budget
         batch = [await self._queue.get()]
+        t_form = self._clock()
         while len(batch) < budget and not self._queue.empty():
             batch.append(self._queue.get_nowait())
         if self.serve_config.batch_deadline_s > 0:
@@ -789,6 +831,15 @@ class ServeLoop:
                     if recovered is not None:
                         self._queue.requeue(recovered)
                     raise
+        if self.tracer is not None:
+            self.tracer.add(
+                "batch-form",
+                "serve",
+                t_form,
+                self._clock(),
+                tid=self._trace_tid,
+                args={"n": len(batch)},
+            )
         return batch
 
     async def _run(self) -> None:
@@ -810,16 +861,21 @@ class ServeLoop:
 
     def _dispatch_inline(
         self, groups: list[list[_Pending]]
-    ) -> list[tuple[list[FRRenderResult] | BaseException, float]]:
+    ) -> list[tuple[list[FRRenderResult] | BaseException, float, float]]:
         """Render pose groups on the event loop (the ``workers=0`` path).
 
-        Each group's outcome carries its own completion stamp: requests
-        are charged their *own* group's render time, never a later
-        group's (the latency-attribution fix).
+        Each group's outcome carries its own start/completion stamps:
+        requests are charged their *own* group's render time, never a
+        later group's (the latency-attribution fix).  While a group
+        renders, the loop's tracer (if any) is installed as the active
+        tracer so the backend-internal prepare/alpha-scan/composite spans
+        land in the same timeline.
         """
-        outcomes: list[tuple[list[FRRenderResult] | BaseException, float]] = []
+        outcomes: list[tuple[list[FRRenderResult] | BaseException, float, float]] = []
+        tracer = self.tracer
         for group in groups:
-            t_start = time.perf_counter()
+            t_start = self._clock()
+            prev = set_active_tracer(tracer) if tracer is not None else None
             try:
                 results = render_foveated_batch(
                     self.fmodel,
@@ -829,16 +885,19 @@ class ServeLoop:
                     batch_size=1 if self.serve_config.exact_frames else None,
                     cache=self.view_cache,
                 )
-                t_done = time.perf_counter()
+                t_done = self._clock()
                 self._update_render_estimate((t_done - t_start) / len(group))
-                outcomes.append((results, t_done))
+                outcomes.append((results, t_start, t_done))
             except Exception as exc:
-                outcomes.append((exc, time.perf_counter()))
+                outcomes.append((exc, t_start, self._clock()))
+            finally:
+                if tracer is not None:
+                    set_active_tracer(prev)
         return outcomes
 
     async def _dispatch_pool(
         self, groups: list[list[_Pending]]
-    ) -> list[tuple[list[FRRenderResult] | BaseException, float]]:
+    ) -> list[tuple[list[FRRenderResult] | BaseException, float, float]]:
         """Render pose groups concurrently on the worker pool.
 
         Every group's render is dispatched at once — distinct poses land on
@@ -851,23 +910,25 @@ class ServeLoop:
         groups are unaffected.  The caller's model fingerprint rides along
         (it is the key's first element, already computed) so a worker
         whose snapshot went stale fails the render instead of serving old
-        parameters.
+        parameters.  With a tracer, worker-side spans come back piggybacked
+        on the result payload and are stitched in under the worker's pid.
         """
         assert self._pool is not None
 
         async def timed(group: list[_Pending]):
-            t_start = time.perf_counter()
+            t_start = self._clock()
             try:
                 results = await self._pool.render(
                     group[0].request.camera,
                     [p.request.gaze for p in group],
                     model_fp=group[0].key[0],
+                    tracer=self.tracer,
                 )
             except Exception as exc:
-                return exc, time.perf_counter()
-            t_done = time.perf_counter()
+                return exc, t_start, self._clock()
+            t_done = self._clock()
             self._update_render_estimate((t_done - t_start) / len(group))
-            return results, t_done
+            return results, t_start, t_done
 
         return await asyncio.gather(*(timed(group) for group in groups))
 
@@ -904,7 +965,7 @@ class ServeLoop:
             or pending.t_deadline is None
         ):
             return False
-        now = time.perf_counter()
+        now = self._clock()
         estimate = self._render_ewma_s
         predicted = now + (estimate if estimate is not None else 0.0)
         if now < pending.t_deadline and predicted <= pending.t_deadline:
@@ -924,7 +985,7 @@ class ServeLoop:
             )
             self._inflight_prefetch.add(pending.key)
             self.degrade_backfills += 1
-        stamp = time.perf_counter()
+        stamp = self._clock()
         self._resolve(
             pending, alternate, cache_hit=False, batch_size=0, now=stamp,
             degraded=True,
@@ -966,9 +1027,26 @@ class ServeLoop:
             )
         )
 
+        # Queue-class wait ends here for every client request in the batch
+        # (hits and followers included — they waited just the same).
+        t_batch = self._clock()
+        tracer = self.tracer
+        queue_hist = self.stage_histograms["queue"]
+        for pending in clients:
+            queue_hist.observe(t_batch - pending.t_submit)
+            if tracer is not None:
+                tracer.add(
+                    "queue-wait",
+                    "serve",
+                    pending.t_submit,
+                    t_batch,
+                    tid=self._client_tid(pending.request.client_id),
+                )
+
         to_render: list[_Pending] = []
         followers: dict[tuple, list[_Pending]] = {}
         hits: list[tuple[_Pending, FRRenderResult]] = []
+        t_dedup = self._clock()
         for pending in clients:
             if pending.key in followers:
                 followers[pending.key].append(pending)
@@ -982,11 +1060,24 @@ class ServeLoop:
                     continue
             followers[pending.key] = []
             to_render.append(pending)
+        if tracer is not None and clients:
+            tracer.add(
+                "dedup",
+                "serve",
+                t_dedup,
+                self._clock(),
+                tid=self._trace_tid,
+                args={
+                    "clients": len(clients),
+                    "leaders": len(to_render),
+                    "hits": len(hits),
+                },
+            )
 
         # Hits resolve before any rendering: their frames are already in
         # hand, so a render failure elsewhere in the batch must not reach
         # them (and their latency must not include the batch's renders).
-        now = time.perf_counter()
+        now = self._clock()
         for pending, result in hits:
             self._resolve(pending, result, cache_hit=True, batch_size=0, now=now)
 
@@ -1010,7 +1101,7 @@ class ServeLoop:
                 )
                 or (
                     pending.t_deadline is not None
-                    and time.perf_counter() >= pending.t_deadline
+                    and self._clock() >= pending.t_deadline
                 )
                 or self.frame_cache is None
             ):
@@ -1056,8 +1147,21 @@ class ServeLoop:
                 groups.append(group)
                 outcomes.extend(self._dispatch_inline([group]))
 
-        for group, (outcome, t_done) in zip(groups, outcomes):
+        for group, (outcome, t_start, t_done) in zip(groups, outcomes):
             client_renders = sum(1 for p in group if not p.prefetch)
+            if tracer is not None:
+                tracer.add(
+                    "render-group",
+                    "serve",
+                    t_start,
+                    t_done,
+                    tid=self._trace_tid,
+                    args={
+                        "frames": len(group),
+                        "clients": client_renders,
+                        "failed": isinstance(outcome, BaseException),
+                    },
+                )
             if isinstance(outcome, BaseException):
                 # A failing pose fails only its own group (and the
                 # followers waiting on those keys); other poses in the
@@ -1077,6 +1181,12 @@ class ServeLoop:
                 continue
             if client_renders:
                 self.batch_sizes.append(client_renders)
+                render_hist = self.stage_histograms["render"]
+                for _ in range(client_renders):
+                    # Each client request in the group is charged the
+                    # group's render duration — the same attribution the
+                    # latency stamps use.
+                    render_hist.observe(t_done - t_start)
             for pending, result in zip(group, outcome):
                 if pending.prefetch:
                     # Speculative frames fill the cache but are invisible
@@ -1107,6 +1217,15 @@ class ServeLoop:
                         now=t_done,
                     )
 
+    def _client_tid(self, client_id: int) -> int:
+        """The trace lane of one client's request spans (named lazily)."""
+        tid = Tracer.CLIENT_TID_BASE + client_id
+        if client_id not in self._traced_clients:
+            self._traced_clients.add(client_id)
+            if self.tracer is not None:
+                self.tracer.name_thread(tid, f"client {client_id}")
+        return tid
+
     def _resolve(
         self,
         pending: _Pending,
@@ -1118,6 +1237,7 @@ class ServeLoop:
     ) -> FrameResponse:
         latency = now - pending.t_submit
         self.latencies_s.append(latency)
+        self.stage_histograms["total"].observe(latency)
         self.requests_served += 1
         missed = pending.t_deadline is not None and now > pending.t_deadline
         if missed:
@@ -1126,6 +1246,20 @@ class ServeLoop:
             self.on_time += 1
         if degraded:
             self.degraded_served += 1
+        if self.tracer is not None:
+            self.tracer.add(
+                "request",
+                "serve",
+                pending.t_submit,
+                now,
+                tid=self._client_tid(pending.request.client_id),
+                args={
+                    "hit": cache_hit,
+                    "degraded": degraded,
+                    "missed": missed,
+                    "batch": batch_size,
+                },
+            )
         response = FrameResponse(
             request=pending.request,
             result=result,
@@ -1174,3 +1308,54 @@ class ServeLoop:
         the pool (and its counters) on close.
         """
         return self._pool.transport_stats() if self._pool is not None else None
+
+    def stage_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-stage latency summary from the loop's log-bucket histograms.
+
+        ``queue`` is submit→batch wait (all client requests), ``render``
+        the request's pose-group render time (misses only), ``total`` the
+        end-to-end latency.  Values in milliseconds; percentiles are
+        bucket-resolved (~10%), mergeable across shards via
+        :meth:`~repro.obs.Histogram.merge`.
+        """
+        out = {}
+        for stage, hist in self.stage_histograms.items():
+            out[stage] = {
+                "count": hist.count,
+                "mean_ms": hist.mean() * 1e3,
+                "p50_ms": hist.percentile(50.0) * 1e3,
+                "p90_ms": hist.percentile(90.0) * 1e3,
+                "p99_ms": hist.percentile(99.0) * 1e3,
+            }
+        return out
+
+    def register_metrics(self, registry: MetricsRegistry, **labels: str) -> None:
+        """Attach every live counter/gauge/histogram of this loop (and its
+        caches and pool) onto ``registry``.
+
+        The pre-existing ``stats()`` dicts remain thin views over the same
+        objects; the registry adds naming, exposition and delta semantics.
+        """
+        if self.frame_cache is not None:
+            self.frame_cache.register_metrics(registry, **labels)
+        self.view_cache.register_metrics(registry, **labels)
+        for name, attr in (
+            ("serve_requests_served", "requests_served"),
+            ("serve_on_time", "on_time"),
+            ("serve_deadline_misses", "deadline_misses"),
+            ("serve_degraded_served", "degraded_served"),
+            ("serve_degrade_backfills", "degrade_backfills"),
+            ("serve_max_queue_depth", "max_queue_depth"),
+            ("serve_prefetch_enqueued", "prefetch_enqueued"),
+            ("serve_prefetch_rendered", "prefetch_rendered"),
+            ("serve_prefetch_dropped", "prefetch_dropped"),
+            ("serve_prefetch_failed", "prefetch_failed"),
+            ("serve_prefetch_useful", "prefetch_useful"),
+        ):
+            registry.gauge_fn(name, lambda a=attr: getattr(self, a), **labels)
+        for stage, hist in self.stage_histograms.items():
+            registry.register(f"serve_stage_{stage}_seconds", hist, **labels)
+        if self._pool is not None and self._owns_pool:
+            # A shared pool (shard router) is registered once by its owner,
+            # not once per shard under conflicting labels.
+            self._pool.register_metrics(registry, **labels)

@@ -38,6 +38,8 @@ import hashlib
 
 from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..splat.cachekey import fingerprint_bytes
 from ..splat.renderer import RenderConfig
 from .regions import FrameCache
@@ -140,12 +142,21 @@ class ShardRouter:
         n_shards: int = 2,
         vnodes: int = 64,
         worker_pool: RenderWorkerPool | None = None,
+        tracer: Tracer | None = None,
+        clock=None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
         self.fmodel = fmodel
         self.render_config = config or RenderConfig()
         self.serve_config = serve_config or ServeConfig()
+        # One tracer for the whole cluster: every shard records into the
+        # same ring (each on its own batcher lane), so a sharded replay
+        # exports a single coherent timeline.
+        if tracer is None and self.serve_config.trace:
+            tracer = Tracer(clock=clock) if clock is not None else Tracer()
+        self.tracer = tracer
+        self._clock = clock
         self.ring = HashRing(n_shards, vnodes=vnodes)
         self._pool = worker_pool
         self._owns_pool = False
@@ -167,8 +178,11 @@ class ShardRouter:
                 config=self.render_config,
                 serve_config=self.serve_config,
                 worker_pool=self._pool,
+                tracer=self.tracer,
+                clock=self._clock,
+                trace_tid=index,
             )
-            for _ in range(n_shards)
+            for index in range(n_shards)
         ]
         # Key computation only (cache entries live on the shards); the
         # explicit max_bytes keeps it constructible when the resolved
@@ -248,6 +262,46 @@ class ShardRouter:
     def transport_stats(self) -> dict | None:
         """The shared pool's frame-transport accounting (``None`` inline)."""
         return self._pool.transport_stats() if self._pool is not None else None
+
+    def merged_stage_histograms(self) -> dict:
+        """Cluster-wide stage histograms: the shards' merged, not averaged.
+
+        Log-bucket histograms merge exactly (bucket counts add), so the
+        percentiles of the merged distribution are the cluster's true
+        percentiles — averaging per-shard percentiles has no such meaning.
+        Returns fresh :class:`~repro.obs.Histogram` objects per stage.
+        """
+        from ..obs.metrics import Histogram
+
+        merged: dict = {}
+        for stage in ("queue", "render", "total"):
+            merged[stage] = Histogram.merged(
+                shard.stage_histograms[stage] for shard in self.shards
+            )
+        return merged
+
+    def stage_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-stage latency summary over the merged shard histograms
+        (same shape as :meth:`ServeLoop.stage_breakdown`, values in ms)."""
+        out = {}
+        for stage, hist in self.merged_stage_histograms().items():
+            out[stage] = {
+                "count": hist.count,
+                "mean_ms": hist.mean() * 1e3,
+                "p50_ms": hist.percentile(50.0) * 1e3,
+                "p90_ms": hist.percentile(90.0) * 1e3,
+                "p99_ms": hist.percentile(99.0) * 1e3,
+            }
+        return out
+
+    def register_metrics(self, registry: MetricsRegistry, **labels: str) -> None:
+        """Attach every shard's live metrics (labelled ``shard=<i>``) plus
+        the shared pool's transport counters onto ``registry``."""
+        for index, shard in enumerate(self.shards):
+            shard.register_metrics(registry, shard=str(index), **labels)
+        if self._pool is not None:
+            self._pool.register_metrics(registry, **labels)
+        registry.gauge_fn("shard_imbalance_factor", lambda: self.imbalance_factor, **labels)
 
     def stats(self) -> dict:
         """Per-shard serving counters plus the cluster imbalance factor."""

@@ -328,6 +328,21 @@ class SlabArena:
             "leases_active": int((self._run_len > 0).sum()),
         }
 
+    def register_metrics(self, registry, **labels: str) -> None:
+        """Attach allocator occupancy to a :class:`repro.obs.MetricsRegistry`.
+
+        Callback gauges over :meth:`stats` — a closed arena reads as fully
+        free rather than raising at scrape time.
+        """
+
+        def _stat(key: str) -> int:
+            stats = self.stats()
+            return int(stats.get(key, 0))
+
+        registry.gauge_fn("arena_blocks_total", lambda: _stat("blocks_total"), **labels)
+        registry.gauge_fn("arena_blocks_free", lambda: _stat("blocks_free"), **labels)
+        registry.gauge_fn("arena_leases_active", lambda: _stat("leases_active"), **labels)
+
     # -- lifetime -------------------------------------------------------
     def close(self) -> None:
         """Unlink (owner) and detach.  Idempotent; never raises.

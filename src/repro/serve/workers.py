@@ -59,6 +59,8 @@ from concurrent.futures.process import BrokenProcessPool
 
 from ..envknobs import env_int
 from ..foveation.hierarchy import FoveatedModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_SPAN, Tracer, set_active_tracer
 from ..splat.camera import Camera
 from ..splat.renderer import RenderConfig
 from .shm import (
@@ -174,14 +176,24 @@ def _worker_init(
     }
 
 
-def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None):
+def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None, trace: bool = False):
     """Render one pose group; frames ride the arena when there is room.
 
-    Returns a list with one entry per gaze: a
+    Returns ``(payload, spans)``.  ``payload`` has one entry per gaze: a
     :class:`~repro.serve.shm.FrameHandle` for frames whose planes landed
     in the shared arena, or the raw ``FRRenderResult`` (pickled through
     the executor pipe) when the arena is absent or full — per frame, so a
     momentarily full arena degrades one frame, not the whole batch.
+
+    When ``trace`` is set, ``spans`` is ``(worker_pid, compact_spans)``
+    piggybacked on the result pickle: the worker records its render and
+    shm-export spans (plus the backend-internal prepare/alpha-scan/
+    composite spans, via the active-tracer seam) into a transient
+    :class:`~repro.obs.trace.Tracer` and drains them to compact tuples.
+    ``time.perf_counter`` is ``CLOCK_MONOTONIC`` on Linux — one clock
+    domain across fork *and* spawn — so the parent stitches them into its
+    trace without any clock translation.  With ``trace`` off, ``spans``
+    is ``None`` and the only cost is returning a 2-tuple.
     """
     if _WORKER_STATE is None:  # pragma: no cover - initializer always runs
         raise RuntimeError("render worker used before initialization")
@@ -193,24 +205,34 @@ def _worker_render(camera: Camera, gazes: tuple, model_fp: tuple | None):
         )
     from ..foveation import render_foveated_batch
 
-    results = render_foveated_batch(
-        _WORKER_STATE["fmodel"],
-        camera,
-        gazes=list(gazes),
-        config=_WORKER_STATE["config"],
-        batch_size=1 if _WORKER_STATE["exact_frames"] else None,
-        cache=_WORKER_STATE["cache"],
-    )
-    arena = _WORKER_STATE["arena"]
-    if arena is None:
-        return list(results)
-    payload = []
-    for result in results:
-        try:
-            payload.append(export_result(arena, result))
-        except (ArenaExhausted, ShmTransportError):
-            payload.append(result)
-    return payload
+    tracer = Tracer(capacity=1024) if trace else None
+    prev = set_active_tracer(tracer) if trace else None
+    try:
+        with tracer.span("render", args={"gazes": len(gazes)}) if trace else NULL_SPAN:
+            results = render_foveated_batch(
+                _WORKER_STATE["fmodel"],
+                camera,
+                gazes=list(gazes),
+                config=_WORKER_STATE["config"],
+                batch_size=1 if _WORKER_STATE["exact_frames"] else None,
+                cache=_WORKER_STATE["cache"],
+            )
+        arena = _WORKER_STATE["arena"]
+        if arena is None:
+            payload = list(results)
+        else:
+            payload = []
+            with tracer.span("shm-export") if trace else NULL_SPAN:
+                for result in results:
+                    try:
+                        payload.append(export_result(arena, result))
+                    except (ArenaExhausted, ShmTransportError):
+                        payload.append(result)
+    finally:
+        if trace:
+            set_active_tracer(prev)
+    spans = (os.getpid(), tracer.drain_compact()) if trace else None
+    return payload, spans
 
 
 # ----------------------------------------------------------------------
@@ -282,7 +304,13 @@ class RenderWorkerPool:
         self.bytes_via_pipe = 0
         self.shm_fallbacks = 0
 
-    async def render(self, camera: Camera, gazes, model_fp: tuple | None = None):
+    async def render(
+        self,
+        camera: Camera,
+        gazes,
+        model_fp: tuple | None = None,
+        tracer: Tracer | None = None,
+    ):
         """Render one pose group ``(camera, gazes)`` in a worker process.
 
         Returns the worker's ``list[FRRenderResult]`` (one per gaze, in
@@ -290,15 +318,27 @@ class RenderWorkerPool:
         (the caller's fingerprint of the model it *thinks* it is serving)
         disagrees with the worker's snapshot, and
         :class:`BrokenProcessPool` if the pool's processes died.
+
+        With a ``tracer``, the worker's render/export spans (compact
+        tuples piggybacked on the result pickle) are stitched into it
+        under the worker's pid, and the parent-side handle materialization
+        is recorded too — one coherent timeline across the pipe.
         """
         if self._executor is None:
             raise RuntimeError("RenderWorkerPool is closed")
         self.renders_dispatched += 1
         loop = asyncio.get_running_loop()
-        payload = await loop.run_in_executor(
-            self._executor, _worker_render, camera, tuple(gazes), model_fp
+        payload, spans = await loop.run_in_executor(
+            self._executor, _worker_render, camera, tuple(gazes), model_fp,
+            tracer is not None,
         )
-        return [self._receive(item) for item in payload]
+        if tracer is not None and spans is not None:
+            worker_pid, compact = spans
+            tracer.adopt(compact, pid=worker_pid, process_label=f"render-worker {worker_pid}")
+        if tracer is None:
+            return [self._receive(item) for item in payload]
+        with tracer.span("materialize", args={"frames": len(payload)}):
+            return [self._receive(item) for item in payload]
 
     def _receive(self, item):
         """Turn one worker payload entry into a result, counting transport.
@@ -360,6 +400,24 @@ class RenderWorkerPool:
             "shm_fallbacks": self.shm_fallbacks,
             "arena": self._arena.stats() if self._arena is not None else None,
         }
+
+    def register_metrics(self, registry: MetricsRegistry, **labels: str) -> None:
+        """Attach transport accounting (and arena occupancy) to ``registry``.
+
+        Callback gauges over the live attributes — ``transport_stats()``
+        stays the thin dict view over the same numbers.
+        """
+        for name, attr in (
+            ("worker_renders_dispatched", "renders_dispatched"),
+            ("worker_frames_via_shm", "frames_via_shm"),
+            ("worker_frames_via_pipe", "frames_via_pipe"),
+            ("worker_bytes_via_shm", "bytes_via_shm"),
+            ("worker_bytes_via_pipe", "bytes_via_pipe"),
+            ("worker_shm_fallbacks", "shm_fallbacks"),
+        ):
+            registry.gauge_fn(name, lambda a=attr: getattr(self, a), **labels)
+        if self._arena is not None:
+            self._arena.register_metrics(registry, **labels)
 
     def close(self) -> None:
         """Shut the pool down, joining (or reaping) every worker process.

@@ -45,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from ...obs.trace import backend_span
 from ..projection import ProjectedGaussians
 from ..rasterizer import RasterGradients
 from ..tiling import TileAssignment, TileGrid
@@ -708,37 +709,39 @@ class PackedBackend:
 
         ts = views[0][1].grid.tile_size
         nsx, ws = self.nsx, self._ws
-        (
-            pair_means,
-            pair_conics,
-            pair_opacities,
-            pair_colors,
-            pair_pids,
-            pair_origin_x,
-            pair_depths,
-        ) = _batch_pair_tables(views, spans_list)
-        bt = BatchTables.build(
-            nsx, batch, ts, pair_means, pair_conics, pair_opacities,
-            pair_colors, pair_origin_x, pair_depths,
-        )
+        with backend_span("alpha-scan", args={"views": len(views), "spans": int(batch.num_spans)}):
+            (
+                pair_means,
+                pair_conics,
+                pair_opacities,
+                pair_colors,
+                pair_pids,
+                pair_origin_x,
+                pair_depths,
+            ) = _batch_pair_tables(views, spans_list)
+            bt = BatchTables.build(
+                nsx, batch, ts, pair_means, pair_conics, pair_opacities,
+                pair_colors, pair_origin_x, pair_depths,
+            )
 
-        quad = batch_span_quad(nsx, ws, bt)
-        alphas = batch_span_alphas(nsx, ws, bt, quad)
+            quad = batch_span_quad(nsx, ws, bt)
+            alphas = batch_span_alphas(nsx, ws, bt, quad)
 
-        perm = None
-        if per_pixel_sort:
-            perm = batch_per_pixel_permutation(nsx, bt, quad)
-            alphas = nsx.take_along_last(alphas, perm)
+            perm = None
+            if per_pixel_sort:
+                perm = batch_per_pixel_permutation(nsx, bt, quad)
+                alphas = nsx.take_along_last(alphas, perm)
 
-        weights, final = batch_weights_final(nsx, ws, bt, alphas)
+            weights, final = batch_weights_final(nsx, ws, bt, alphas)
 
-        # One compositing reduction over the whole batch, scattered per view.
-        pixels = batch_composite(nsx, ws, bt, weights, final, background, perm)
-        for v, spans in enumerate(spans_list):
-            if spans.num_groups == 0:
-                continue
-            idx, ok = _group_pixel_index(spans)
-            images[v].reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
+        with backend_span("composite", args={"views": len(views)}):
+            # One compositing reduction over the whole batch, scattered per view.
+            pixels = batch_composite(nsx, ws, bt, weights, final, background, perm)
+            for v, spans in enumerate(spans_list):
+                if spans.num_groups == 0:
+                    continue
+                idx, ok = _group_pixel_index(spans)
+                images[v].reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
 
         if collect_stats:
             ok_all = np.concatenate(
@@ -900,49 +903,53 @@ class PackedBackend:
         prim: list[np.ndarray] = []
         sec: dict[int, np.ndarray] = {}
         segments: list[_FoveatedSegment] = []
-        for f, ((projected, assignment), plan) in enumerate(chunk):
-            prim.append(_background_frame(assignment.grid, background))
-            if plan.blend_pixels:
-                sec[f] = _background_frame(assignment.grid, background)
-            segments.extend(
-                _foveated_segments(
-                    nsx, projected, plan, op_mat, de_mat, f, exp_memo=exp_memo
+        with backend_span("alpha-scan", args={"frames": len(chunk)}):
+            for f, ((projected, assignment), plan) in enumerate(chunk):
+                prim.append(_background_frame(assignment.grid, background))
+                if plan.blend_pixels:
+                    sec[f] = _background_frame(assignment.grid, background)
+                segments.extend(
+                    _foveated_segments(
+                        nsx, projected, plan, op_mat, de_mat, f, exp_memo=exp_memo
+                    )
                 )
-            )
 
-        if segments:
-            ts = chunk[0][0][1].grid.tile_size
-            batch = concat_spans([s.spans for s in segments])
-            if len(segments) > 1:
-                alphas = np.concatenate([s.alphas for s in segments], axis=1)
-                colors = np.concatenate([s.colors for s in segments], axis=0)
-            else:
-                alphas, colors = segments[0].alphas, segments[0].colors
-            _, weights, final = weights_final(nsx, alphas, batch)
-            pixels = composite_groups(
-                nsx, weights, final, colors, batch.groups, ts, background
-            )
-            for v, s in enumerate(segments):
-                if s.spans.num_groups == 0:
-                    continue
-                idx, ok = _group_pixel_index(s.spans)
-                target = sec[s.frame] if s.second else prim[s.frame]
-                target.reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
+            if segments:
+                ts = chunk[0][0][1].grid.tile_size
+                batch = concat_spans([s.spans for s in segments])
+                if len(segments) > 1:
+                    alphas = np.concatenate([s.alphas for s in segments], axis=1)
+                    colors = np.concatenate([s.colors for s in segments], axis=0)
+                else:
+                    alphas, colors = segments[0].alphas, segments[0].colors
+                _, weights, final = weights_final(nsx, alphas, batch)
 
-        out = []
-        for f, ((projected, assignment), plan) in enumerate(chunk):
-            image = prim[f]
-            if plan.blend_pixels:
-                image = _foveated_blend(plan, assignment.grid, prim[f], sec[f])
-            out.append(
-                FoveatedFrame(
-                    image=image,
-                    sort_intersections_per_tile=plan.sort_ints,
-                    raster_intersections_per_tile=plan.raster_ints,
-                    blend_pixels=plan.blend_pixels,
-                    level_spans=plan.level_spans,
+        with backend_span("composite", args={"frames": len(chunk)}):
+            if segments:
+                pixels = composite_groups(
+                    nsx, weights, final, colors, batch.groups, ts, background
                 )
-            )
+                for v, s in enumerate(segments):
+                    if s.spans.num_groups == 0:
+                        continue
+                    idx, ok = _group_pixel_index(s.spans)
+                    target = sec[s.frame] if s.second else prim[s.frame]
+                    target.reshape(-1, 3)[idx[ok]] = pixels[batch.view_groups(v)][ok]
+
+            out = []
+            for f, ((projected, assignment), plan) in enumerate(chunk):
+                image = prim[f]
+                if plan.blend_pixels:
+                    image = _foveated_blend(plan, assignment.grid, prim[f], sec[f])
+                out.append(
+                    FoveatedFrame(
+                        image=image,
+                        sort_intersections_per_tile=plan.sort_ints,
+                        raster_intersections_per_tile=plan.raster_ints,
+                        blend_pixels=plan.blend_pixels,
+                        level_spans=plan.level_spans,
+                    )
+                )
         return out
 
     def multi_model_frame(
@@ -1138,20 +1145,22 @@ class TiledPackedBackend(PackedBackend):
         ) = _batch_pair_tables([view], [spans])
         for piece in split_spans(spans, budget):
             batch = concat_spans([piece])
-            bt = BatchTables.build(
-                nsx, batch, ts, pair_means, pair_conics, pair_opacities,
-                pair_colors, pair_origin_x, pair_depths,
-            )
-            quad = batch_span_quad(nsx, ws, bt)
-            alphas = batch_span_alphas(nsx, ws, bt, quad)
-            perm = None
-            if per_pixel_sort:
-                perm = batch_per_pixel_permutation(nsx, bt, quad)
-                alphas = nsx.take_along_last(alphas, perm)
-            weights, final = batch_weights_final(nsx, ws, bt, alphas)
-            pixels = batch_composite(nsx, ws, bt, weights, final, background, perm)
-            idx, ok = _group_pixel_index(piece)
-            image.reshape(-1, 3)[idx[ok]] = pixels[ok]
+            with backend_span("alpha-scan", args={"spans": int(batch.num_spans), "tiled": 1}):
+                bt = BatchTables.build(
+                    nsx, batch, ts, pair_means, pair_conics, pair_opacities,
+                    pair_colors, pair_origin_x, pair_depths,
+                )
+                quad = batch_span_quad(nsx, ws, bt)
+                alphas = batch_span_alphas(nsx, ws, bt, quad)
+                perm = None
+                if per_pixel_sort:
+                    perm = batch_per_pixel_permutation(nsx, bt, quad)
+                    alphas = nsx.take_along_last(alphas, perm)
+                weights, final = batch_weights_final(nsx, ws, bt, alphas)
+            with backend_span("composite", args={"tiled": 1}):
+                pixels = batch_composite(nsx, ws, bt, weights, final, background, perm)
+                idx, ok = _group_pixel_index(piece)
+                image.reshape(-1, 3)[idx[ok]] = pixels[ok]
             if collect_stats:
                 lane_ok = piece.seg.geometry.lane_valid[piece.group_tile]
                 winners, has_any = batch_dominated_winners(

@@ -19,6 +19,8 @@ import dataclasses
 
 import numpy as np
 
+from ..obs.metrics import Counter, MetricsRegistry
+from ..obs.trace import backend_span
 from .cachekey import (
     camera_fingerprint,
     model_fingerprint,
@@ -96,16 +98,17 @@ def prepare_view(
     :class:`ViewCache` shares it across repeated renders of one pose.
     """
     config = config or RenderConfig()
-    projected = project_gaussians(
-        model,
-        camera,
-        smoothing_3d=config.smoothing_3d,
-        opacity_override=opacity_override,
-        color_override=color_override,
-    )
-    grid = TileGrid(width=camera.width, height=camera.height, tile_size=config.tile_size)
-    assignment = assign_tiles(projected, grid)
-    assignment = sort_tile_splats(projected, assignment)
+    with backend_span("prepare", args={"w": camera.width, "h": camera.height}):
+        projected = project_gaussians(
+            model,
+            camera,
+            smoothing_3d=config.smoothing_3d,
+            opacity_override=opacity_override,
+            color_override=color_override,
+        )
+        grid = TileGrid(width=camera.width, height=camera.height, tile_size=config.tile_size)
+        assignment = assign_tiles(projected, grid)
+        assignment = sort_tile_splats(projected, assignment)
     return PreparedView(projected=projected, assignment=assignment)
 
 
@@ -130,12 +133,36 @@ class ViewCache:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
+        # Int-like metric objects (repro.obs): existing `cache.hits` int
+        # comparisons keep working, and register_metrics() can attach a
+        # registry to the live values.
+        self.hits = Counter()
+        self.misses = Counter()
+        self.evictions = Counter()
         self._entries: dict[tuple, PreparedView] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> dict:
+        """Plain-int counters snapshot (thin view over the live objects)."""
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "entries": len(self._entries),
+        }
+
+    def register_metrics(self, registry: MetricsRegistry, **labels: str) -> None:
+        """Attach the live hit/miss/eviction counters onto ``registry``."""
+        registry.register("view_cache_hits", self.hits, help="prepared-view cache hits", **labels)
+        registry.register("view_cache_misses", self.misses, help="prepared-view cache misses", **labels)
+        registry.register(
+            "view_cache_evictions", self.evictions, help="prepared-view LRU evictions", **labels
+        )
+        registry.gauge_fn(
+            "view_cache_entries", lambda: len(self._entries), help="prepared views resident", **labels
+        )
 
     def get(
         self,
@@ -173,6 +200,7 @@ class ViewCache:
                     # Dict order is insertion order and every access
                     # re-inserts, so the first key is the LRU entry.
                     self._entries.pop(next(iter(self._entries)))
+                    self.evictions += 1
             self._entries[key] = view
             views.append(view)
         return views
